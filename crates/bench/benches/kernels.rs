@@ -1,0 +1,105 @@
+//! Criterion micro/macro benchmarks of the simulator stack itself:
+//! fixed-point kernels, golden int8 inference, CGRA execution, parser,
+//! MAT lookup, and the full per-packet pipeline. These measure *our*
+//! software — useful as regression guards on simulator performance and
+//! to demonstrate the harness scales to the trace sizes the experiment
+//! binaries use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taurus_cgra::CgraSim;
+use taurus_compiler::{compile, CompileOptions, GridConfig};
+use taurus_core::apps::AnomalyDetector;
+use taurus_core::TaurusSwitch;
+use taurus_dataset::kdd::KddGenerator;
+use taurus_dataset::trace::{PacketTrace, TraceConfig};
+use taurus_fixed::q::Q8;
+use taurus_fixed::quant::Requantizer;
+use taurus_ir::{microbench, Interpreter};
+use taurus_pisa::{Packet, Parser};
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let xs: Vec<Q8<4>> = (0..256).map(|i| Q8::<4>::from_raw((i % 255) as i8)).collect();
+    c.bench_function("fixed/q8_mul_acc_256", |b| {
+        b.iter(|| {
+            let mut acc = Q8::<4>::ZERO;
+            for w in black_box(&xs).windows(2) {
+                acc = acc + w[0] * w[1];
+            }
+            black_box(acc)
+        })
+    });
+    let rq = Requantizer::from_real_multiplier(0.0123, 3);
+    c.bench_function("fixed/requantize", |b| {
+        b.iter(|| black_box(rq.apply(black_box(123_456))))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let detector = AnomalyDetector::train_default(1, 1_000);
+    let x = [0.2f32, 0.45, 1.0, -0.5, 0.3, 0.1];
+    c.bench_function("ml/float_dnn_forward", |b| {
+        b.iter(|| black_box(detector.float_model.forward(black_box(&x))))
+    });
+    let codes = detector.quantized.quantize_input(&x);
+    c.bench_function("ml/int8_dnn_golden", |b| {
+        b.iter(|| black_box(detector.quantized.infer_codes(black_box(&codes))))
+    });
+}
+
+fn bench_cgra(c: &mut Criterion) {
+    let g = microbench::inner_product();
+    let p = compile(&g, &GridConfig::default(), &CompileOptions::default()).expect("fits");
+    let input = vec![7i32; 16];
+    c.bench_function("cgra/inner_product_packet", |b| {
+        let mut sim = CgraSim::new(&p);
+        b.iter(|| black_box(sim.process(black_box(&input))))
+    });
+    c.bench_function("ir/inner_product_interp", |b| {
+        let mut interp = Interpreter::new(&g);
+        b.iter(|| black_box(interp.run(black_box(&input))))
+    });
+
+    let detector = AnomalyDetector::train_default(2, 1_000);
+    let codes: Vec<i32> = detector
+        .quantized
+        .quantize_input(&[0.0; 6])
+        .into_iter()
+        .map(i32::from)
+        .collect();
+    c.bench_function("cgra/anomaly_dnn_packet", |b| {
+        let mut sim = CgraSim::new(&detector.program);
+        b.iter(|| black_box(sim.process(black_box(&codes))))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pkt = Packet::tcp(0x0A000001, 0xC0A80001, 40_000, 80, 0x10, 512);
+    let bytes = pkt.to_bytes();
+    c.bench_function("pisa/parse_bytes", |b| {
+        let mut parser = Parser::new();
+        b.iter(|| black_box(parser.parse_bytes(black_box(bytes.clone()), 0)))
+    });
+
+    let detector = AnomalyDetector::train_default(3, 1_000);
+    let records = KddGenerator::new(4).take(50);
+    let trace = PacketTrace::expand(records, &TraceConfig::default());
+    c.bench_function("core/switch_per_packet", |b| {
+        let mut switch = TaurusSwitch::new(&detector);
+        let mut i = 0usize;
+        b.iter(|| {
+            let tp = &trace.packets[i % trace.packets.len()];
+            i += 1;
+            black_box(switch.process_trace_packet(black_box(tp)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fixed_point,
+    bench_inference,
+    bench_cgra,
+    bench_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Experiment harness: shared model builders and table printing for the
+//! per-table/per-figure binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary in
+//! `src/bin/` (`table1` … `table8`, `fig9`, `fig10`, `fig13`, `fig14`)
+//! that regenerates it: same workloads, same parameter sweeps, printed in
+//! the paper's row/series structure with the published values alongside
+//! our measured ones. `EXPERIMENTS.md` records the comparison.
+
+use taurus_compiler::{compile, frontend, CompileOptions, GridConfig, GridProgram};
+use taurus_dataset::kdd::{FeatureView, KddGenerator};
+use taurus_dataset::IotGenerator;
+use taurus_ml::lstm::LstmConfig;
+use taurus_ml::svm::SvmConfig;
+use taurus_ml::{KMeans, Lstm, QuantizedKMeans, QuantizedSvm, Svm};
+
+/// Prints a formatted table with a title and column headers.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(h.len())
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (c, w) in cells.iter().zip(&widths) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Writes experiment results as JSON under `results/` for provenance.
+pub fn save_json(name: &str, value: &impl serde::Serialize) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(path, json);
+    }
+}
+
+/// The Table 5 application models, compiled for the default grid:
+/// `(name, paper latency ns, paper area mm², program)`.
+pub fn table5_models() -> Vec<(&'static str, f64, f64, GridProgram)> {
+    let grid = GridConfig::default();
+
+    // IoT KMeans: 11 features, 5 categories.
+    let mut iot = IotGenerator::new(50);
+    let ds = iot.multiclass_dataset(2_000);
+    let km = KMeans::fit_supervised(ds.features(), ds.labels(), 5);
+    let qkm = QuantizedKMeans::quantize(&km, ds.features());
+    let km_prog = compile(&frontend::kmeans_to_graph(&qkm), &grid, &CompileOptions::default())
+        .expect("kmeans fits");
+
+    // Anomaly SVM: 8 KDD features, RBF kernel, 16-SV budget.
+    let mut kdd = KddGenerator::new(51);
+    let svm_ds = kdd.binary_dataset(3_000, FeatureView::Svm8);
+    let svm = Svm::train(
+        svm_ds.features(),
+        svm_ds.labels(),
+        &SvmConfig { gamma: 0.3, budget: 16, epochs: 8, ..SvmConfig::default() },
+    );
+    let qsvm = QuantizedSvm::quantize(&svm, svm_ds.features());
+    let svm_prog = compile(&frontend::svm_to_graph(&qsvm), &grid, &CompileOptions::default())
+        .expect("svm fits");
+
+    // Anomaly DNN: the paper's 6 → 12 → 6 → 3 → 1 network.
+    let detector = taurus_core::apps::AnomalyDetector::train_default(52, 3_000);
+    let dnn_prog = detector.program.clone();
+
+    // Indigo LSTM: 32 units, softmax head, capped at ~60 CUs (the
+    // paper's area budget) via time-multiplexing. The paper does not
+    // state Indigo's history length; a 3-step window calibrates the
+    // serialized recurrence to the published 805 ns decision latency.
+    let lstm = Lstm::new(&LstmConfig::indigo(), 53);
+    let lstm_graph = frontend::lstm_to_graph(&lstm, 3, 4.0);
+    let lstm_prog = compile(
+        &lstm_graph,
+        &grid,
+        &CompileOptions { unroll: None, max_cus: Some(60) },
+    )
+    .expect("lstm fits");
+
+    vec![
+        ("IoT KMeans", 61.0, 0.3, km_prog),
+        ("Anom. SVM", 83.0, 0.6, svm_prog),
+        ("Anom. DNN", 221.0, 1.0, dnn_prog),
+        ("Indigo LSTM", 805.0, 3.0, lstm_prog),
+    ]
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_models_compile_with_expected_shapes() {
+        let models = table5_models();
+        assert_eq!(models.len(), 4);
+        let lat: Vec<f64> = models.iter().map(|(_, _, _, p)| p.timing.latency_ns).collect();
+        // Ordering: KMeans < SVM < DNN < LSTM (the paper's Table 5 shape).
+        assert!(lat[0] < lat[2], "kmeans {} < dnn {}", lat[0], lat[2]);
+        assert!(lat[1] < lat[2], "svm {} < dnn {}", lat[1], lat[2]);
+        assert!(lat[2] < lat[3], "dnn {} < lstm {}", lat[2], lat[3]);
+        // LSTM is not line rate; the rest are.
+        assert_eq!(models[0].3.timing.initiation_interval, 1);
+        assert_eq!(models[1].3.timing.initiation_interval, 1);
+        assert_eq!(models[2].3.timing.initiation_interval, 1);
+        assert!(models[3].3.timing.initiation_interval > 1);
+    }
+}

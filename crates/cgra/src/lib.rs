@@ -1,0 +1,435 @@
+//! Cycle-level simulator of the Taurus MapReduce block.
+//!
+//! Executes a compiled [`GridProgram`] the way the hardware would: an
+//! event-driven dataflow engine fires each placed unit when all of its
+//! producers' values have traversed the static interconnect, evaluates
+//! the unit's configured operation (SIMD map chain, dot-product row
+//! group, LUT access, state read/write), and tracks cycle timestamps
+//! using the same network-cost model as the compiler's static analysis
+//! (§5.1.3's 1 GHz, 5-cycle-MapReduce, ~5-cycles-per-movement costs).
+//!
+//! Two properties are enforced by this crate's tests and the cross-crate
+//! integration suite:
+//!
+//! 1. **Value equivalence** — outputs are bit-identical to the
+//!    `taurus-ir` reference interpreter (and hence to the `taurus-ml`
+//!    integer golden models) for every supported program, including
+//!    time-multiplexed (under-unrolled) and recurrent (LSTM) ones.
+//! 2. **Timing agreement** — the measured per-packet latency equals the
+//!    compiler's static [`TimingReport`], validating the static analysis
+//!    against an independent event-driven execution.
+//!
+//! [`TimingReport`]: taurus_compiler::TimingReport
+
+use std::collections::HashMap;
+
+use taurus_compiler::timing::edge_cost;
+use taurus_compiler::vu::{RowWork, VuKind};
+use taurus_compiler::GridProgram;
+use taurus_ir::graph::Operand;
+use taurus_ir::{eval_map, eval_reduce, matvec_row, sqdist_row, NodeId, Op};
+
+/// Result of processing one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketResult {
+    /// Program outputs, in declaration order.
+    pub outputs: Vec<Vec<i32>>,
+    /// Measured ingress-to-egress latency in cycles (all recurrence steps
+    /// included).
+    pub latency_cycles: u32,
+}
+
+/// Statistics from streaming a batch of packets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Per-packet outputs.
+    pub outputs: Vec<Vec<Vec<i32>>>,
+    /// Per-packet latency (constant for a static pipeline).
+    pub latency_cycles: u32,
+    /// Cycles between successive packet admissions.
+    pub initiation_interval: u32,
+    /// Total cycles to drain the batch:
+    /// `latency + (n − 1)·initiation_interval`.
+    pub total_cycles: u64,
+    /// Achieved packets per cycle (`1/II` for a full pipeline).
+    pub throughput_ppc: f64,
+}
+
+/// The simulator: owns persistent state and streams packets through a
+/// compiled program.
+#[derive(Debug, Clone)]
+pub struct CgraSim<'p> {
+    program: &'p GridProgram,
+    /// Persistent state vectors (survive across packets, like MU-resident
+    /// LSTM state).
+    state: Vec<Vec<i32>>,
+    /// Topological firing order (by placement level).
+    order: Vec<usize>,
+}
+
+impl<'p> CgraSim<'p> {
+    /// Creates a simulator with zero-initialized state.
+    pub fn new(program: &'p GridProgram) -> Self {
+        let state = program.graph.states().iter().map(|s| vec![0i32; s.width]).collect();
+        let mut order: Vec<usize> = (0..program.units.len()).collect();
+        order.sort_by_key(|&i| (program.placement.levels[i], i));
+        Self { program, state, order }
+    }
+
+    /// Current persistent state (for tests).
+    pub fn state(&self) -> &[Vec<i32>] {
+        &self.state
+    }
+
+    /// Processes one packet (all recurrence steps), returning outputs and
+    /// measured latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width differs from the program's input node.
+    pub fn process(&mut self, input: &[i32]) -> PacketResult {
+        let graph = &self.program.graph;
+        assert_eq!(input.len(), graph.input_width(), "input width mismatch");
+        let steps = graph.sequence_steps();
+        let mut outputs = Vec::new();
+        let mut step_latency = 0u32;
+        for _ in 0..steps {
+            let (out, lat) = self.run_step(input);
+            outputs = out;
+            step_latency = lat;
+        }
+        PacketResult { outputs, latency_cycles: step_latency * steps as u32 }
+    }
+
+    /// Streams a batch of packets and reports throughput.
+    pub fn stream(&mut self, inputs: &[Vec<i32>]) -> StreamStats {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut latency = 0;
+        for x in inputs {
+            let r = self.process(x);
+            latency = r.latency_cycles;
+            outputs.push(r.outputs);
+        }
+        let ii = self.program.timing.initiation_interval;
+        let n = inputs.len() as u64;
+        let total = if n == 0 { 0 } else { u64::from(latency) + (n - 1) * u64::from(ii) };
+        StreamStats {
+            outputs,
+            latency_cycles: latency,
+            initiation_interval: ii,
+            total_cycles: total,
+            throughput_ppc: if ii == 0 { 0.0 } else { 1.0 / f64::from(ii) },
+        }
+    }
+
+    /// One recurrence step: event-driven firing in dependency order,
+    /// returning outputs and the step's ingress-to-egress latency.
+    fn run_step(&mut self, input: &[i32]) -> (Vec<Vec<i32>>, u32) {
+        let program = self.program;
+        let graph = &program.graph;
+        let units = &program.units;
+
+        // Per-node lane buffers (DotCu groups fill lanes incrementally).
+        let mut lanes: HashMap<NodeId, Vec<Option<i32>>> = HashMap::new();
+        let mut pending_state: Vec<(usize, Vec<i32>)> = Vec::new();
+        let mut complete = vec![0u32; units.len()];
+
+        let full = |lanes: &HashMap<NodeId, Vec<Option<i32>>>, id: NodeId| -> Vec<i32> {
+            lanes
+                .get(&id)
+                .unwrap_or_else(|| panic!("node {id:?} not yet produced"))
+                .iter()
+                .map(|v| v.expect("all lanes filled before consumption"))
+                .collect()
+        };
+
+        for &i in &self.order {
+            let vu = &units[i];
+            // Arrival time: producers' completion plus network cost —
+            // identical cost model to the compiler's static analysis.
+            let fanin = vu
+                .deps
+                .iter()
+                .filter(|d| units[d.0 as usize].kind != VuKind::WeightMu)
+                .count();
+            let arrive = vu
+                .deps
+                .iter()
+                .map(|d| {
+                    let di = d.0 as usize;
+                    let src = &units[di];
+                    let dist = program.placement.distance(di, i);
+                    complete[di]
+                        + edge_cost(src, fanin, dist, src.kind == VuKind::Interface)
+                })
+                .max()
+                .unwrap_or(0);
+            complete[i] = arrive + vu.latency;
+
+            // Fire: evaluate the unit's configuration.
+            match vu.kind {
+                VuKind::Interface => {
+                    let id = vu.nodes[0];
+                    lanes.insert(id, input.iter().map(|&v| Some(v)).collect());
+                }
+                VuKind::WeightMu => {}
+                VuKind::DotCu => {
+                    for rw in &vu.row_work {
+                        self.fire_dot(rw, &mut lanes, &full);
+                    }
+                }
+                VuKind::Wire | VuKind::Cu | VuKind::LutCu | VuKind::StateMu => {
+                    for &nid in &vu.nodes {
+                        let value =
+                            self.eval_node(nid, &lanes, &full, &mut pending_state);
+                        lanes.insert(nid, value.into_iter().map(Some).collect());
+                    }
+                }
+            }
+        }
+
+        // Egress timing.
+        let out_nodes: std::collections::HashSet<_> = graph.outputs().iter().copied().collect();
+        let mut latency = 0u32;
+        for (i, vu) in units.iter().enumerate() {
+            if vu.produces.iter().any(|(n, _)| out_nodes.contains(n)) {
+                latency =
+                    latency.max(complete[i] + taurus_compiler::timing::INTERFACE_BASE + 2);
+            }
+        }
+
+        // Commit state at end of step.
+        for (idx, v) in pending_state {
+            self.state[idx] = v;
+        }
+
+        let outputs = graph.outputs().iter().map(|&o| full(&lanes, o)).collect();
+        (outputs, latency)
+    }
+
+    fn fire_dot(
+        &self,
+        rw: &RowWork,
+        lanes: &mut HashMap<NodeId, Vec<Option<i32>>>,
+        full: &dyn Fn(&HashMap<NodeId, Vec<Option<i32>>>, NodeId) -> Vec<i32>,
+    ) {
+        let graph = &self.program.graph;
+        let node = graph.node(rw.node);
+        let (bank, input, zero_point, is_sqdist) = match node.op {
+            Op::MatVec { weights, zero_point, input } => (weights, input, zero_point, false),
+            Op::SqDist { weights, input } => (weights, input, 0, true),
+            _ => unreachable!("dot row work on non-dot node"),
+        };
+        let bank = graph.weight(bank);
+        let x = full(lanes, input);
+        let final_node = rw.fused.last().copied().unwrap_or(rw.node);
+        let width = graph.node(final_node).width;
+        let entry = lanes.entry(final_node).or_insert_with(|| vec![None; width]);
+        for &r in &rw.rows {
+            let mut acc = if is_sqdist {
+                sqdist_row(bank.row(r), &x)
+            } else {
+                matvec_row(bank.row(r), &x, zero_point)
+            };
+            for &f in &rw.fused {
+                acc = match &graph.node(f).op {
+                    Op::AddBias { bias, .. } => acc.wrapping_add(bias[r]),
+                    Op::Requant { requant, .. } => i32::from(requant.apply(acc)),
+                    other => unreachable!("unsupported fused op {other:?}"),
+                };
+            }
+            entry[r] = Some(acc);
+        }
+    }
+
+    fn eval_node(
+        &self,
+        id: NodeId,
+        lanes: &HashMap<NodeId, Vec<Option<i32>>>,
+        full: &dyn Fn(&HashMap<NodeId, Vec<Option<i32>>>, NodeId) -> Vec<i32>,
+        pending_state: &mut Vec<(usize, Vec<i32>)>,
+    ) -> Vec<i32> {
+        let graph = &self.program.graph;
+        match &graph.node(id).op {
+            Op::Input { .. } => unreachable!("input handled by the interface unit"),
+            Op::Const { values } => values.clone(),
+            Op::Map { op, a, b } => {
+                let av = full(lanes, *a);
+                let bv: Vec<i32> = match b {
+                    Operand::Node(n) => full(lanes, *n),
+                    Operand::Const(c) => c.clone(),
+                };
+                (0..av.len())
+                    .map(|j| eval_map(*op, av[j], if bv.len() == 1 { bv[0] } else { bv[j] }))
+                    .collect()
+            }
+            Op::Reduce { op, input } => vec![eval_reduce(*op, &full(lanes, *input))],
+            Op::MatVec { .. } | Op::SqDist { .. } => {
+                unreachable!("dot nodes handled by DotCu units")
+            }
+            Op::AddBias { bias, input } => full(lanes, *input)
+                .iter()
+                .zip(bias)
+                .map(|(&v, &b)| v.wrapping_add(b))
+                .collect(),
+            Op::Requant { requant, input } => full(lanes, *input)
+                .iter()
+                .map(|&v| i32::from(requant.apply(v)))
+                .collect(),
+            Op::Lut { lut, input } => {
+                let table = graph.lut(*lut);
+                full(lanes, *input)
+                    .iter()
+                    .map(|&v| i32::from(table[(v.clamp(-128, 127) + 128) as usize]))
+                    .collect()
+            }
+            Op::GreaterZero { input } => {
+                full(lanes, *input).iter().map(|&v| i32::from(v > 0)).collect()
+            }
+            Op::Concat { inputs } => inputs.iter().flat_map(|&n| full(lanes, n)).collect(),
+            Op::Slice { input, start, len } => {
+                full(lanes, *input)[*start..*start + *len].to_vec()
+            }
+            Op::StateRead { state } => self.state[state.0 as usize].clone(),
+            Op::StateWrite { state, input } => {
+                let v = full(lanes, *input);
+                pending_state.push((state.0 as usize, v.clone()));
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use taurus_compiler::{compile, CompileOptions, GridConfig};
+    use taurus_ir::{microbench, Graph, GraphBuilder, Interpreter, MapOp};
+
+    fn compile_default(g: &Graph) -> GridProgram {
+        compile(g, &GridConfig::default(), &CompileOptions::default()).expect("fits")
+    }
+
+    fn assert_equiv(g: &Graph, inputs: &[Vec<i32>]) {
+        let p = compile_default(g);
+        let mut sim = CgraSim::new(&p);
+        let mut interp = Interpreter::new(g);
+        for x in inputs {
+            let got = sim.process(x);
+            let want = interp.run(x);
+            assert_eq!(got.outputs, want, "input {x:?}");
+        }
+    }
+
+    #[test]
+    fn microbenchmarks_match_interpreter() {
+        for name in microbench::ALL_MICROBENCHMARKS {
+            let g = microbench::by_name(name);
+            let w = g.input_width();
+            let inputs: Vec<Vec<i32>> = (0..20)
+                .map(|k| (0..w).map(|j| ((k * 37 + j * 11) % 255) as i32 - 127).collect())
+                .collect();
+            assert_equiv(&g, &inputs);
+        }
+    }
+
+    #[test]
+    fn conv_time_multiplexed_values_match_fully_unrolled() {
+        let g = microbench::conv1d();
+        let x: Vec<i32> = (0..9).map(|i| i * 3 - 10).collect();
+        let mut expected = None;
+        for unroll in [1usize, 2, 4, 8] {
+            let p = compile(
+                &g,
+                &GridConfig::default(),
+                &CompileOptions { unroll: Some(unroll), max_cus: None },
+            )
+            .expect("fits");
+            let mut sim = CgraSim::new(&p);
+            let out = sim.process(&x).outputs;
+            match &expected {
+                None => expected = Some(out),
+                Some(e) => assert_eq!(&out, e, "unroll {unroll}"),
+            }
+        }
+    }
+
+    #[test]
+    fn measured_latency_matches_static_report() {
+        for name in microbench::ALL_MICROBENCHMARKS {
+            let g = microbench::by_name(name);
+            let p = compile_default(&g);
+            let mut sim = CgraSim::new(&p);
+            let x = vec![1i32; g.input_width()];
+            let r = sim.process(&x);
+            assert_eq!(
+                r.latency_cycles, p.timing.latency_cycles,
+                "{name}: event-driven vs static"
+            );
+        }
+    }
+
+    #[test]
+    fn state_persists_across_packets() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(1);
+        let s = b.state("acc", 1);
+        let prev = b.state_read(s);
+        let sum = b.map(MapOp::Add, x, prev);
+        let wr = b.state_write(s, sum);
+        b.output(wr);
+        let g = b.finish().expect("valid");
+        let p = compile_default(&g);
+        let mut sim = CgraSim::new(&p);
+        assert_eq!(sim.process(&[5]).outputs, vec![vec![5]]);
+        assert_eq!(sim.process(&[3]).outputs, vec![vec![8]]);
+        assert_eq!(sim.state(), &[vec![8]]);
+    }
+
+    #[test]
+    fn stream_reports_line_rate_for_ii_1() {
+        let g = microbench::inner_product();
+        let p = compile_default(&g);
+        let mut sim = CgraSim::new(&p);
+        let inputs: Vec<Vec<i32>> = (0..10).map(|k| vec![k; 16]).collect();
+        let stats = sim.stream(&inputs);
+        assert_eq!(stats.initiation_interval, 1);
+        assert_eq!(stats.throughput_ppc, 1.0);
+        assert_eq!(stats.total_cycles, u64::from(stats.latency_cycles) + 9);
+        assert_eq!(stats.outputs.len(), 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_random_map_chains_match_interpreter(
+            ops in proptest::collection::vec(0usize..5, 1..12),
+            consts in proptest::collection::vec(-20i32..20, 12),
+            input in proptest::collection::vec(-100i32..100, 8),
+        ) {
+            let mut b = GraphBuilder::new();
+            let x = b.input(8);
+            let mut h = x;
+            for (k, &o) in ops.iter().enumerate() {
+                let c = consts[k % consts.len()];
+                h = match o {
+                    0 => b.map_const(MapOp::Add, h, vec![c]),
+                    1 => b.map_const(MapOp::Sub, h, vec![c]),
+                    2 => b.map_const(MapOp::Mul, h, vec![c.clamp(-3, 3)]),
+                    3 => b.map_const(MapOp::Max, h, vec![c]),
+                    4 => b.map_const(MapOp::Shr, h, vec![(c.unsigned_abs() % 4) as i32]),
+                    _ => unreachable!(),
+                };
+            }
+            let r = b.reduce(taurus_ir::ReduceOp::Add, h);
+            b.output(h);
+            b.output(r);
+            let g = b.finish().expect("valid");
+            let p = compile_default(&g);
+            let mut sim = CgraSim::new(&p);
+            let mut interp = Interpreter::new(&g);
+            prop_assert_eq!(sim.process(&input).outputs, interp.run(&input));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Compiler lowering MapReduce IR onto the Taurus CGRA grid.
+//!
+//! §4 of the paper describes the flow ("Target-Dependent Compilation"):
+//! programs compile to a streaming dataflow graph; innermost loops become
+//! SIMD operations within a CU, outer loops map over multiple CUs;
+//! overly-large patterns (too many compute stages, inputs, or memory
+//! banks) are split to fit CUs and MUs; the result is placed and routed
+//! on the static interconnect. This crate implements that pipeline:
+//!
+//! 1. [`vu`]: lowering to *virtual units* — per-neuron dot-product CUs,
+//!    fused element-wise op chains (≤ 4 stages each), lane splitting for
+//!    vectors wider than 16, LUT units, and memory units; plus the
+//!    outer-loop time-multiplexing that implements Table 7's unrolling.
+//! 2. [`place`]: checkerboard placement (3:1 CU:MU on a 12×10 grid) and
+//!    Manhattan route lengths.
+//! 3. [`timing`]: the latency/throughput model calibrated to §5.1.3's
+//!    stated costs (5-cycle minimum CU MapReduce, ≈5 cycles + distance
+//!    per data movement, 1 GHz clock).
+//! 4. [`frontend`]: lowering of quantized ML models (DNN / SVM / KMeans /
+//!    LSTM / Conv1D) into IR graphs.
+//!
+//! The output [`GridProgram`] carries everything the cycle-level
+//! simulator (`taurus-cgra`) and the area/power model (`taurus-hw-model`)
+//! need.
+
+pub mod config;
+pub mod frontend;
+pub mod place;
+pub mod program;
+pub mod timing;
+pub mod vu;
+
+pub use config::{CompileOptions, GridConfig};
+pub use program::{CompileError, GridProgram, ResourceReport, TimingReport};
+pub use vu::{Vu, VuId, VuKind};
+
+use taurus_ir::Graph;
+
+/// Compiles a validated IR graph onto the grid.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the graph fails validation or exceeds the
+/// grid's CU/MU capacity even after time-multiplexing.
+///
+/// # Examples
+///
+/// ```
+/// use taurus_compiler::{compile, CompileOptions, GridConfig};
+/// use taurus_ir::microbench;
+///
+/// let g = microbench::inner_product();
+/// let p = compile(&g, &GridConfig::default(), &CompileOptions::default())
+///     .expect("inner product fits");
+/// // A 16-element inner product runs at line rate in a single CU (§5.1.3).
+/// assert_eq!(p.resources.cus, 1);
+/// assert_eq!(p.timing.initiation_interval, 1);
+/// ```
+pub fn compile(
+    graph: &Graph,
+    grid: &GridConfig,
+    options: &CompileOptions,
+) -> Result<GridProgram, CompileError> {
+    graph.validate().map_err(CompileError::InvalidGraph)?;
+    let mut units = vu::lower(graph, grid, options)?;
+    let placement = place::place(&units, grid)?;
+    timing::annotate(graph, &mut units, &placement, grid);
+    let timing = timing::timing_report(graph, &units, &placement, grid);
+    let resources = program::resource_report(graph, &units, grid);
+    Ok(GridProgram {
+        graph: graph.clone(),
+        units,
+        placement,
+        timing,
+        resources,
+        grid: grid.clone(),
+    })
+}

@@ -1,0 +1,26 @@
+//! Control-plane simulators: the §5.2 baseline loop and online training.
+//!
+//! The paper's end-to-end evaluation compares Taurus against a
+//! conventional SDN control plane (Fig. 12): a server samples telemetry
+//! through XDP, stores it in InfluxDB, runs batched Keras inference, and
+//! installs flow rules through ONOS. The decisive property is *latency
+//! structure* — batching plus millisecond rule installation means most
+//! anomalous packets pass before their rule exists (Table 8). This crate
+//! reproduces that loop as a discrete-event simulation with per-stage
+//! service-time models calibrated to the paper's measured components,
+//! plus the online-training study of §5.2.3 (Figs. 13 and 14).
+//!
+//! - [`accelerator`]: Table 2's unbatched control-plane inference
+//!   latencies (calibrated models + a live host measurement hook).
+//! - [`baseline`]: the XDP → DB → ML → install pipeline as a DES over a
+//!   packet trace.
+//! - [`training`]: streaming SGD with modeled training/installation
+//!   delays, producing F1-vs-time convergence curves.
+
+pub mod accelerator;
+pub mod baseline;
+pub mod training;
+
+pub use accelerator::Accelerator;
+pub use baseline::{BaselineConfig, BaselineReport, PacketSample};
+pub use training::{ConvergencePoint, TrainingRunConfig};

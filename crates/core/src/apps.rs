@@ -1,0 +1,203 @@
+//! In-network applications: the Table 1 registry and the §5.2.2
+//! anomaly-detection bundle.
+
+use serde::{Deserialize, Serialize};
+use taurus_compiler::{compile, frontend, CompileOptions, GridConfig, GridProgram};
+use taurus_dataset::kdd::{FeatureView, KddGenerator};
+use taurus_dataset::Standardizer;
+use taurus_ml::mlp::MlpConfig;
+use taurus_ml::{Mlp, QuantizedMlp, TrainParams};
+
+/// Reaction-time classes from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReactionTime {
+    /// Must decide on every packet.
+    PerPacket,
+    /// Per flowlet (burst of a flow).
+    PerFlowlet,
+    /// Per flow.
+    PerFlow,
+    /// Per microburst.
+    PerMicroburst,
+}
+
+/// One Table 1 row: an in-network application and its demanded reaction
+/// times.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AppInfo {
+    /// Application name as printed in Table 1.
+    pub name: &'static str,
+    /// Security (true) or performance (false) category.
+    pub security: bool,
+    /// Demanded reaction granularities.
+    pub reaction: &'static [ReactionTime],
+}
+
+/// The Table 1 application registry.
+pub fn registry() -> Vec<AppInfo> {
+    use ReactionTime::*;
+    vec![
+        AppInfo { name: "Heavy Hitters", security: true, reaction: &[PerPacket] },
+        AppInfo {
+            name: "DoS (e.g., SYN Flood)",
+            security: true,
+            reaction: &[PerPacket, PerFlow, PerMicroburst],
+        },
+        AppInfo { name: "Probes (e.g., Port Scan)", security: true, reaction: &[PerFlow] },
+        AppInfo { name: "U2R: Unauth. Access to Root", security: true, reaction: &[PerFlow] },
+        AppInfo { name: "R2L: Unauth. Remote Access", security: true, reaction: &[PerFlow] },
+        AppInfo { name: "Congestion Control", security: false, reaction: &[PerPacket] },
+        AppInfo { name: "Active Queue Mgmt (AQM)", security: false, reaction: &[PerPacket] },
+        AppInfo {
+            name: "Traffic Classification",
+            security: false,
+            reaction: &[PerFlowlet, PerFlow],
+        },
+        AppInfo { name: "Load Balancing", security: false, reaction: &[PerPacket, PerFlowlet] },
+        AppInfo {
+            name: "Switching and Routing",
+            security: false,
+            reaction: &[PerPacket, PerFlowlet],
+        },
+    ]
+}
+
+/// The complete anomaly-detection application: trained float model,
+/// quantized deployment model, feature standardizer, compiled grid
+/// program, and decision threshold.
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    /// The control plane's float model (used by the baseline and for
+    /// online training).
+    pub float_model: Mlp,
+    /// The int8 deployment model (the golden reference for the switch).
+    pub quantized: QuantizedMlp,
+    /// Standardizer fitted on the training features.
+    pub standardizer: Standardizer,
+    /// The compiled MapReduce program.
+    pub program: GridProgram,
+    /// Output code meaning "anomalous" (quantized 0.5 of the sigmoid).
+    pub threshold_code: i64,
+    /// Offline F1 (×100) on the held-out connection test set.
+    pub offline_f1: f64,
+}
+
+impl AnomalyDetector {
+    /// Trains the paper's 4-layer DNN (6 → 12 → 6 → 3 → 1, §5.1.2) on
+    /// synthetic KDD-like connection records, quantizes it, and compiles
+    /// it for the default grid.
+    ///
+    /// This is the *connection-record* training path used for Table 5 and
+    /// quick starts; the end-to-end harness retrains on stream-extracted
+    /// features (see `e2e::build_detector_from_trace`).
+    pub fn train_default(seed: u64, n_records: usize) -> Self {
+        let mut gen = KddGenerator::new(seed);
+        let mut ds = gen.binary_dataset(n_records, FeatureView::Dnn6);
+        ds.shuffle(seed ^ 0x5151);
+        let standardizer = Standardizer::fit(&ds);
+        let mut ds_std = ds;
+        standardizer.apply(&mut ds_std);
+        let (train, test) = ds_std.split(0.8);
+        Self::from_data(
+            train.features().to_vec(),
+            train.labels().to_vec(),
+            test.features().to_vec(),
+            test.labels().to_vec(),
+            standardizer,
+            seed,
+        )
+    }
+
+    /// Builds the detector from explicit standardized train/test splits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or widths differ from the
+    /// DNN's six inputs.
+    pub fn from_data(
+        train_x: Vec<Vec<f32>>,
+        train_y: Vec<usize>,
+        test_x: Vec<Vec<f32>>,
+        test_y: Vec<usize>,
+        standardizer: Standardizer,
+        seed: u64,
+    ) -> Self {
+        assert!(!train_x.is_empty(), "empty training set");
+        assert!(train_x.iter().all(|x| x.len() == 6), "AD DNN takes 6 features");
+        let cfg = MlpConfig::anomaly_dnn();
+        let mut model = Mlp::new(&cfg, seed);
+        model.train(
+            &train_x,
+            &train_y,
+            &TrainParams { epochs: 30, lr: 0.08, ..TrainParams::default() },
+        );
+        let quantized = QuantizedMlp::quantize(&model, &train_x);
+        let graph = frontend::mlp_to_graph(&quantized);
+        let program = compile(&graph, &GridConfig::default(), &CompileOptions::default())
+            .expect("AD DNN fits the default grid");
+        let threshold_code = i64::from(quantized.output_params().quantize(0.5));
+        let offline_f1 = taurus_ml::BinaryMetrics::from_pairs(
+            test_x
+                .iter()
+                .zip(&test_y)
+                .map(|(x, &y)| (quantized.predict_class(x) == 1, y == 1)),
+        )
+        .f1_percent();
+        Self { float_model: model, quantized, standardizer, program, threshold_code, offline_f1 }
+    }
+
+    /// Encodes standardized features into the model's int8 input codes.
+    pub fn encode(&self, standardized: &[f32]) -> Vec<i32> {
+        self.quantized
+            .quantize_input(standardized)
+            .into_iter()
+            .map(i32::from)
+            .collect()
+    }
+
+    /// Standardizes raw stream features then encodes them.
+    pub fn format_features(&self, raw: &[f32]) -> Vec<i32> {
+        let mut row = raw.to_vec();
+        self.standardizer.apply_row(&mut row);
+        self.encode(&row)
+    }
+
+    /// Validates the paper's sanity check: the DNN's weights occupy a few
+    /// KB, versus megabytes of equivalent flow rules (§3).
+    pub fn weight_bytes(&self) -> usize {
+        self.quantized.weight_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1_shape() {
+        let apps = registry();
+        assert_eq!(apps.len(), 10);
+        let security = apps.iter().filter(|a| a.security).count();
+        assert_eq!(security, 5, "five security rows");
+        assert!(apps
+            .iter()
+            .any(|a| a.name.contains("SYN Flood") && a.reaction.len() == 3));
+    }
+
+    #[test]
+    fn detector_trains_and_compiles() {
+        let d = AnomalyDetector::train_default(1, 3_000);
+        assert!(d.offline_f1 > 40.0, "offline F1 {}", d.offline_f1);
+        assert!(d.program.resources.cus > 10, "DNN uses many CUs");
+        assert!(d.program.timing.initiation_interval == 1, "line rate");
+        assert!(d.weight_bytes() < 5_600, "weights beat flow rules: {}", d.weight_bytes());
+    }
+
+    #[test]
+    fn format_features_produces_codes() {
+        let d = AnomalyDetector::train_default(2, 1_000);
+        let codes = d.format_features(&[1.0, 0.45, 5.0, 4.0, 2.0, 2.0]);
+        assert_eq!(codes.len(), 6);
+        assert!(codes.iter().all(|&c| (-128..=127).contains(&c)));
+    }
+}

@@ -1,0 +1,38 @@
+//! Taurus: a per-packet ML data plane — the integration crate.
+//!
+//! This crate assembles the full system the paper describes: the PISA
+//! pipeline (`taurus-pisa`) around the compiled MapReduce block executed
+//! by the cycle-level CGRA simulator (`taurus-cgra`), with models trained
+//! and quantized by `taurus-ml`, lowered by `taurus-compiler`, and
+//! costed by `taurus-hw-model`.
+//!
+//! - [`engine`]: the [`engine::CgraEngine`] adapter that plugs the CGRA
+//!   simulator into the pipeline's inference slot.
+//! - [`switch`]: [`switch::TaurusSwitch`], the public per-packet device
+//!   API (Fig. 6's full pipeline, bypass included).
+//! - [`apps`]: the in-network application registry (Table 1) and the
+//!   anomaly-detection application bundle (§5.2.2).
+//! - [`e2e`]: the end-to-end experiment harness comparing Taurus against
+//!   the control-plane baseline over identical traces (Table 8).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use taurus_core::apps::AnomalyDetector;
+//! use taurus_core::e2e;
+//!
+//! // Train + quantize + compile the paper's anomaly-detection DNN on a
+//! // small synthetic workload, then push packets through the switch.
+//! let detector = AnomalyDetector::train_default(42, 2_000);
+//! let report = e2e::run_taurus_only(&detector, 500, 99);
+//! assert!(report.f1_percent > 0.0);
+//! ```
+
+pub mod apps;
+pub mod e2e;
+pub mod engine;
+pub mod switch;
+
+pub use apps::AnomalyDetector;
+pub use engine::CgraEngine;
+pub use switch::{SwitchReport, TaurusSwitch};

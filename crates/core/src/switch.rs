@@ -1,0 +1,184 @@
+//! [`TaurusSwitch`]: the assembled per-packet ML device (Fig. 6).
+
+use std::collections::HashSet;
+
+use taurus_dataset::trace::{TracePacket, TCP_ACK, TCP_SYN};
+use taurus_pisa::pipeline::{anomaly_post_table, ml_bypass_table, PipelineResult};
+use taurus_pisa::registers::PacketObs;
+use taurus_pisa::{Packet, PipelineConfig, TaurusPipeline, Verdict};
+
+use crate::apps::AnomalyDetector;
+use crate::engine::CgraEngine;
+
+/// Aggregate switch counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwitchReport {
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets that visited the MapReduce block.
+    pub ml_packets: u64,
+    /// Packets dropped by the anomaly verdict.
+    pub dropped: u64,
+}
+
+/// A Taurus switch running the anomaly-detection application: PISA
+/// pipeline + compiled DNN on the CGRA simulator.
+///
+/// Borrows the detector (whose compiled program must outlive the
+/// switch); construct via [`TaurusSwitch::new`].
+pub struct TaurusSwitch<'d> {
+    pipeline: TaurusPipeline<CgraEngine<'d>>,
+    seen_flows: HashSet<u32>,
+    report: SwitchReport,
+}
+
+impl<'d> TaurusSwitch<'d> {
+    /// Builds the switch around a trained detector.
+    pub fn new(detector: &'d AnomalyDetector) -> Self {
+        let engine = CgraEngine::new(&detector.program);
+        let standardizer = detector.standardizer.clone();
+        let quantized_params = detector.quantized.input_params();
+        let mut pipeline = TaurusPipeline::new(
+            PipelineConfig { feature_count: 6, ..PipelineConfig::default() },
+            engine,
+            move |f| {
+                let mut row = f.encode_dnn6().to_vec();
+                standardizer.apply_row(&mut row);
+                row.iter().map(|&v| i32::from(quantized_params.quantize(v))).collect()
+            },
+        );
+        pipeline.pre_tables.push(ml_bypass_table());
+        pipeline.post_tables.push(anomaly_post_table(detector.threshold_code));
+        Self { pipeline, seen_flows: HashSet::new(), report: SwitchReport::default() }
+    }
+
+    /// Processes one trace packet; returns the pipeline result.
+    pub fn process_trace_packet(&mut self, tp: &TracePacket) -> PipelineResult {
+        let pkt = Self::to_packet(tp);
+        let obs = self.observation(tp);
+        let result = self.pipeline.process(&pkt, obs);
+        self.report.packets += 1;
+        if !result.bypassed {
+            self.report.ml_packets += 1;
+        }
+        if result.verdict == Verdict::Drop {
+            self.report.dropped += 1;
+        }
+        result
+    }
+
+    /// Clears flow state and counters (between experiment phases).
+    pub fn reset(&mut self) {
+        self.pipeline.reset_state();
+        self.seen_flows.clear();
+        self.report = SwitchReport::default();
+    }
+
+    /// Aggregate counters.
+    pub fn report(&self) -> SwitchReport {
+        self.report
+    }
+
+    /// The ML block's per-packet latency in nanoseconds.
+    pub fn ml_latency_ns(&mut self) -> u64 {
+        use taurus_pisa::InferenceEngine;
+        self.pipeline.engine_mut().latency_ns()
+    }
+
+    fn to_packet(tp: &TracePacket) -> Packet {
+        let mut p = Packet::tcp(
+            tp.tuple.src_ip,
+            tp.tuple.dst_ip,
+            tp.tuple.src_port,
+            tp.tuple.dst_port,
+            tp.tcp_flags,
+            tp.len,
+        );
+        p.proto = tp.tuple.proto;
+        p.ts_ns = tp.ts_ns;
+        p
+    }
+
+    /// Builds the register-stage observation the way hardware would:
+    /// direction from SYN-side bookkeeping, flow start from first-seen.
+    fn observation(&mut self, tp: &TracePacket) -> PacketObs {
+        let canonical = tp.tuple.canonical();
+        let is_flow_start = self.seen_flows.insert(tp.conn_id)
+            && (tp.tuple.proto != 6 || tp.tcp_flags & TCP_SYN != 0 && tp.tcp_flags & TCP_ACK == 0);
+        // The responder is the destination of forward packets.
+        let (resp_ip, resp_port) = if tp.reverse {
+            (tp.tuple.src_ip, tp.tuple.src_port)
+        } else {
+            (tp.tuple.dst_ip, tp.tuple.dst_port)
+        };
+        PacketObs {
+            flow_key: canonical.hash(),
+            dst_key: u64::from(resp_ip).wrapping_mul(0x9E3779B97F4A7C15),
+            srv_key: (u64::from(resp_ip) << 16 | u64::from(resp_port))
+                .wrapping_mul(0x9E3779B97F4A7C15),
+            reverse: tp.reverse,
+            is_flow_start,
+            len: tp.len,
+            tcp_flags: tp.tcp_flags,
+            proto: tp.tuple.proto,
+            ts_ns: tp.ts_ns,
+        }
+    }
+}
+
+impl core::fmt::Debug for TaurusSwitch<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TaurusSwitch").field("report", &self.report).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_dataset::kdd::KddGenerator;
+    use taurus_dataset::trace::{PacketTrace, TraceConfig};
+
+    #[test]
+    fn switch_processes_a_trace() {
+        let detector = AnomalyDetector::train_default(3, 1_500);
+        let mut switch = TaurusSwitch::new(&detector);
+        let records = KddGenerator::new(11).take(60);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        for tp in trace.packets.iter().take(500) {
+            let r = switch.process_trace_packet(tp);
+            assert!(r.latency_ns > 0);
+        }
+        let report = switch.report();
+        assert!(report.packets > 0);
+        assert!(report.ml_packets > 0, "TCP/UDP packets visit the model");
+        // ML latency is the compiled DNN's latency: order 100–300 ns.
+        assert!((50..=400).contains(&switch.ml_latency_ns()), "{}", switch.ml_latency_ns());
+    }
+
+    #[test]
+    fn icmp_bypasses() {
+        let detector = AnomalyDetector::train_default(4, 1_000);
+        let mut switch = TaurusSwitch::new(&detector);
+        let records = KddGenerator::new(12).take(200);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let icmp = trace.packets.iter().find(|p| p.tuple.proto == 1);
+        if let Some(tp) = icmp {
+            let r = switch.process_trace_packet(tp);
+            assert!(r.bypassed);
+        }
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let detector = AnomalyDetector::train_default(5, 1_000);
+        let mut switch = TaurusSwitch::new(&detector);
+        let records = KddGenerator::new(13).take(20);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        for tp in trace.packets.iter().take(50) {
+            switch.process_trace_packet(tp);
+        }
+        assert!(switch.report().packets > 0);
+        switch.reset();
+        assert_eq!(switch.report().packets, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic synthetic datasets for the Taurus reproduction.
+//!
+//! The paper evaluates on two data sources we cannot redistribute:
+//!
+//! 1. **NSL-KDD** ([Dhanabal & Shantharajah 2015]) connection records,
+//!    which §5.2.2 expands into labelled, binned packet traces by sampling
+//!    flow-size distributions and field rates of change;
+//! 2. **TMC IoT traffic** (Sivanathan et al. 2018) for the Table 3
+//!    quantization study and the KMeans IoT classifier of Table 5.
+//!
+//! Following the substitution rule in `DESIGN.md`, this crate generates
+//! statistically analogous records *from scratch* with the same feature
+//! semantics, class structure, and — crucially — the same downstream
+//! processing step (connection → packet-trace expansion). Every generator
+//! is seeded and fully deterministic, so experiments are reproducible
+//! bit-for-bit.
+//!
+//! - [`dist`]: seeded samplers (normal, lognormal, exponential, Poisson,
+//!   Pareto) built on `rand`'s uniform source.
+//! - [`kdd`]: five-class (normal / DoS / probe / R2L / U2R) connection
+//!   records with KDD-style features and encoders for the paper's
+//!   6-feature DNN view and 8-feature SVM view.
+//! - [`trace`]: expansion of connection records into per-packet traces
+//!   with five-tuples, sizes, flags, and timestamps.
+//! - [`iot`]: 11-feature, 5-category IoT device-traffic records plus the
+//!   4-feature binary views used by Table 3's DNN kernels.
+//! - [`split`]: dataset container, shuffling, train/test splits, and
+//!   feature standardization.
+
+pub mod dist;
+pub mod iot;
+pub mod kdd;
+pub mod split;
+pub mod trace;
+
+pub use iot::{IotCategory, IotGenerator, IotRecord};
+pub use kdd::{ConnRecord, KddClass, KddGenerator, Protocol, Service};
+pub use split::{Dataset, Standardizer};
+pub use trace::{FiveTuple, PacketTrace, TraceConfig, TracePacket};

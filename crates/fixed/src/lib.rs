@@ -1,0 +1,42 @@
+//! Fixed-point arithmetic for the Taurus per-packet ML data plane.
+//!
+//! Taurus (ASPLOS 2022, §4–5.1.1) executes ML inference on 8-bit
+//! fixed-point functional units: fixed-point hardware is smaller, faster,
+//! and lower-power than floating point, and Table 3 of the paper shows the
+//! accuracy loss from 8-bit quantization is negligible. This crate is the
+//! numeric substrate shared by the IR interpreter, the CGRA simulator, and
+//! the ML quantization pipeline:
+//!
+//! - [`q`]: saturating Q-format types ([`Q8`], [`Q16`], [`Q32`]) with
+//!   const-generic fractional bit counts — the datapath element types.
+//! - [`quant`]: per-tensor affine int8 quantization (scale + zero point,
+//!   TensorFlow-Lite style) with integer-only requantization, used to
+//!   lower trained float models onto the 8-bit datapath.
+//! - [`act`]: the activation-function implementations benchmarked in
+//!   Table 6 — ReLU, LeakyReLU, exponential-series tanh/sigmoid,
+//!   piecewise-linear tanh/sigmoid, and 1024-entry lookup tables.
+//! - [`lut`]: construction of the 1024×8-bit activation LUTs (§5.1.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use taurus_fixed::q::Q8;
+//!
+//! // Q8 with 4 fractional bits: resolution 1/16, range [-8, 7.9375].
+//! let a = Q8::<4>::from_f32(1.5);
+//! let b = Q8::<4>::from_f32(2.25);
+//! assert_eq!((a * b).to_f32(), 3.375);
+//! // Saturation instead of wrap-around:
+//! let big = Q8::<4>::from_f32(7.0);
+//! assert_eq!((big * big).to_f32(), Q8::<4>::MAX.to_f32());
+//! ```
+
+pub mod act;
+pub mod lut;
+pub mod q;
+pub mod quant;
+
+pub use act::{leaky_relu_f32, relu_f32, sigmoid_f32, tanh_f32, Activation};
+pub use lut::ActLut;
+pub use q::{Q16, Q32, Q8};
+pub use quant::{QuantParams, QuantizedVec, Requantizer};

@@ -1,0 +1,341 @@
+//! Construction API mirroring the paper's P4 `MapReduce` control block.
+//!
+//! Fig. 4 of the paper writes a DNN layer as
+//!
+//! ```p4
+//! LinearResults = Map(rows) { i =>
+//!   Mult = Map(cols) { j => Weights[i,j] * FeatureSet[j] }
+//!   Reduce(Mult) { (x,y) => x + y } }
+//! Output = Map(rows) { k => ReLU(LinearResults[k]) }
+//! ```
+//!
+//! [`GraphBuilder`] exposes the same vocabulary: [`GraphBuilder::map`] and
+//! [`GraphBuilder::reduce`] for the raw patterns, and
+//! [`GraphBuilder::map_reduce_rows`] for the fused outer-map-over-neurons
+//! form (`MatVec`), which is how the frontends emit dense layers.
+
+use taurus_fixed::quant::Requantizer;
+
+use crate::graph::{
+    Graph, LutId, MapOp, Node, NodeId, Op, Operand, ReduceOp, StateBank, StateId, WeightBank,
+    WeightId,
+};
+
+/// Incrementally builds a [`Graph`].
+///
+/// # Examples
+///
+/// A 16-input perceptron with ReLU, as in Fig. 3 of the paper:
+///
+/// ```
+/// use taurus_ir::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let x = b.input(16);
+/// let w = b.weights("w", 1, 16, vec![1i8; 16]);
+/// let dot = b.map_reduce_rows(w, x, 0);       // map ×, reduce +
+/// let relu = b.map_max_const(dot, 0);         // map ReLU
+/// b.output(relu);
+/// let g = b.finish().expect("valid graph");
+/// assert_eq!(g.outputs().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    weights: Vec<WeightBank>,
+    luts: Vec<Vec<i8>>,
+    states: Vec<StateBank>,
+    outputs: Vec<NodeId>,
+    outer_iters: usize,
+    sequence_steps: usize,
+    current_iter: Option<u32>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self { outer_iters: 1, sequence_steps: 1, ..Self::default() }
+    }
+
+    fn push(&mut self, op: Op, width: usize) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { op, width, iter_tag: self.current_iter });
+        id
+    }
+
+    /// Tags subsequently built nodes as belonging to outer-loop iteration
+    /// `k` (see [`Graph`]'s `outer_iters`); `None` clears the tag.
+    pub fn set_iteration(&mut self, k: Option<u32>) {
+        self.current_iter = k;
+    }
+
+    /// Width of an already-built node.
+    pub fn width(&self, id: NodeId) -> usize {
+        self.nodes[id.0 as usize].width
+    }
+
+    /// Declares the packet feature input (exactly one per graph).
+    pub fn input(&mut self, width: usize) -> NodeId {
+        self.push(Op::Input { width }, width)
+    }
+
+    /// Adds a constant vector.
+    pub fn constant(&mut self, values: Vec<i32>) -> NodeId {
+        let w = values.len();
+        self.push(Op::Const { values }, w)
+    }
+
+    /// Registers an int8 weight bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn weights(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        data: Vec<i8>,
+    ) -> WeightId {
+        assert_eq!(data.len(), rows * cols, "weight bank shape mismatch");
+        let id = WeightId(self.weights.len() as u32);
+        self.weights.push(WeightBank { name: name.into(), data, rows, cols });
+        id
+    }
+
+    /// Registers a 256-entry lookup table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.len() != 256`.
+    pub fn lut(&mut self, table: Vec<i8>) -> LutId {
+        assert_eq!(table.len(), 256, "luts have 256 entries");
+        let id = LutId(self.luts.len() as u32);
+        self.luts.push(table);
+        id
+    }
+
+    /// Registers a persistent state vector (zero-initialized).
+    pub fn state(&mut self, name: impl Into<String>, width: usize) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(StateBank { name: name.into(), width });
+        id
+    }
+
+    /// `Map(op)` over two node operands.
+    pub fn map(&mut self, op: MapOp, a: NodeId, b: NodeId) -> NodeId {
+        let w = self.width(a);
+        self.push(Op::Map { op, a, b: Operand::Node(b) }, w)
+    }
+
+    /// `Map(op)` with a constant second operand (broadcast if length 1).
+    pub fn map_const(&mut self, op: MapOp, a: NodeId, c: Vec<i32>) -> NodeId {
+        let w = self.width(a);
+        self.push(Op::Map { op, a, b: Operand::Const(c) }, w)
+    }
+
+    /// Lane-wise max against a broadcast scalar (ReLU when `c` is the zero
+    /// code).
+    pub fn map_max_const(&mut self, a: NodeId, c: i32) -> NodeId {
+        self.map_const(MapOp::Max, a, vec![c])
+    }
+
+    /// `Reduce(op)` to a single lane.
+    pub fn reduce(&mut self, op: ReduceOp, input: NodeId) -> NodeId {
+        self.push(Op::Reduce { op, input }, 1)
+    }
+
+    /// The fused perceptron pattern: for each weight-bank row, map a
+    /// lane-wise multiply then reduce with add — the inner Map/Reduce pair
+    /// of Fig. 4 replicated over rows (the outer map).
+    pub fn map_reduce_rows(&mut self, weights: WeightId, input: NodeId, zero_point: i32) -> NodeId {
+        let rows = self.weights[weights.0 as usize].rows;
+        self.push(Op::MatVec { weights, zero_point, input }, rows)
+    }
+
+    /// Per-row squared distances (KMeans/RBF pattern): map subtract, map
+    /// square, reduce add, per row.
+    pub fn sq_dist_rows(&mut self, weights: WeightId, input: NodeId) -> NodeId {
+        let rows = self.weights[weights.0 as usize].rows;
+        self.push(Op::SqDist { weights, input }, rows)
+    }
+
+    /// Adds an `i32` bias vector.
+    pub fn add_bias(&mut self, input: NodeId, bias: Vec<i32>) -> NodeId {
+        let w = self.width(input);
+        self.push(Op::AddBias { bias, input }, w)
+    }
+
+    /// Requantizes accumulators to int8 codes.
+    pub fn requant(&mut self, input: NodeId, requant: Requantizer) -> NodeId {
+        let w = self.width(input);
+        self.push(Op::Requant { requant, input }, w)
+    }
+
+    /// Applies a lookup table lane-wise.
+    pub fn lookup(&mut self, input: NodeId, lut: LutId) -> NodeId {
+        let w = self.width(input);
+        self.push(Op::Lut { lut, input }, w)
+    }
+
+    /// Lane-wise `> 0` test producing 0/1.
+    pub fn greater_zero(&mut self, input: NodeId) -> NodeId {
+        let w = self.width(input);
+        self.push(Op::GreaterZero { input }, w)
+    }
+
+    /// Concatenates vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn concat(&mut self, inputs: Vec<NodeId>) -> NodeId {
+        assert!(!inputs.is_empty(), "concat needs at least one input");
+        let w = inputs.iter().map(|&n| self.width(n)).sum();
+        self.push(Op::Concat { inputs }, w)
+    }
+
+    /// Extracts a lane range.
+    pub fn slice(&mut self, input: NodeId, start: usize, len: usize) -> NodeId {
+        self.push(Op::Slice { input, start, len }, len)
+    }
+
+    /// Reads persistent state.
+    pub fn state_read(&mut self, state: StateId) -> NodeId {
+        let w = self.states[state.0 as usize].width;
+        self.push(Op::StateRead { state }, w)
+    }
+
+    /// Writes persistent state (pass-through value).
+    pub fn state_write(&mut self, state: StateId, input: NodeId) -> NodeId {
+        let w = self.width(input);
+        self.push(Op::StateWrite { state, input }, w)
+    }
+
+    /// Marks a node as a program output.
+    pub fn output(&mut self, node: NodeId) {
+        self.outputs.push(node);
+    }
+
+    /// Declares the number of outer-loop iterations available for
+    /// unrolling (Table 7); defaults to 1.
+    pub fn outer_iters(&mut self, iters: usize) {
+        self.outer_iters = iters.max(1);
+    }
+
+    /// Declares serial recurrence steps per packet (LSTM history length);
+    /// defaults to 1.
+    pub fn sequence_steps(&mut self, steps: usize) {
+        self.sequence_steps = steps.max(1);
+    }
+
+    /// Validates and returns the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural invariant.
+    pub fn finish(self) -> Result<Graph, String> {
+        let g = Graph {
+            nodes: self.nodes,
+            weights: self.weights,
+            luts: self.luts,
+            states: self.states,
+            outputs: self.outputs,
+            outer_iters: self.outer_iters,
+            sequence_steps: self.sequence_steps,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_perceptron() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(4);
+        let w = b.weights("w", 2, 4, vec![1i8; 8]);
+        let dot = b.map_reduce_rows(w, x, 0);
+        let act = b.map_max_const(dot, 0);
+        b.output(act);
+        let g = b.finish().expect("valid");
+        assert_eq!(g.nodes().len(), 3);
+        assert_eq!(g.input_width(), 4);
+        assert_eq!(g.weight_bytes(), 8);
+    }
+
+    #[test]
+    fn rejects_graph_without_output() {
+        let mut b = GraphBuilder::new();
+        b.input(4);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn rejects_graph_without_input() {
+        let mut b = GraphBuilder::new();
+        let c = b.constant(vec![1, 2, 3]);
+        b.output(c);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn rejects_two_inputs() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(4);
+        b.input(4);
+        b.output(x);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn weights_shape_checked() {
+        let mut b = GraphBuilder::new();
+        b.weights("w", 2, 4, vec![0i8; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "256 entries")]
+    fn lut_size_checked() {
+        let mut b = GraphBuilder::new();
+        b.lut(vec![0i8; 255]);
+    }
+
+    #[test]
+    fn slice_bounds_validated() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(4);
+        let s = b.slice(x, 2, 5);
+        b.output(s);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn state_round_trip_builds() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(2);
+        let h = b.state("h", 2);
+        let prev = b.state_read(h);
+        let sum = b.map(MapOp::Add, x, prev);
+        let wr = b.state_write(h, sum);
+        b.output(wr);
+        let g = b.finish().expect("valid");
+        assert_eq!(g.states().len(), 1);
+    }
+
+    #[test]
+    fn concat_and_slice_widths() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(3);
+        let c = b.constant(vec![7, 8]);
+        let cat = b.concat(vec![x, c]);
+        assert_eq!(b.width(cat), 5);
+        let s = b.slice(cat, 1, 2);
+        b.output(s);
+        assert!(b.finish().is_ok());
+    }
+}

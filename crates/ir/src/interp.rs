@@ -1,0 +1,332 @@
+//! Reference interpreter — the golden semantics of every IR operation.
+//!
+//! The CGRA simulator (`taurus-cgra`) must produce bit-identical outputs
+//! to this interpreter for any valid graph; the cross-crate property
+//! tests enforce it. All arithmetic is `i32` wrapping (hardware
+//! accumulators), requantization uses [`Requantizer`] exactly as the ML
+//! golden model does, and LUT inputs clamp to the int8 code range before
+//! indexing.
+//!
+//! [`Requantizer`]: taurus_fixed::quant::Requantizer
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, MapOp, NodeId, Op, Operand, ReduceOp};
+
+/// Executes a [`Graph`] on successive feature vectors, carrying persistent
+/// state across invocations (the per-packet model execution loop).
+#[derive(Debug, Clone)]
+pub struct Interpreter<'g> {
+    graph: &'g Graph,
+    state: Vec<Vec<i32>>,
+}
+
+impl<'g> Interpreter<'g> {
+    /// Creates an interpreter with zero-initialized state.
+    pub fn new(graph: &'g Graph) -> Self {
+        let state = graph.states().iter().map(|s| vec![0i32; s.width]).collect();
+        Self { graph, state }
+    }
+
+    /// Current persistent state (for inspection in tests).
+    pub fn state(&self) -> &[Vec<i32>] {
+        &self.state
+    }
+
+    /// Evaluates the graph for one input vector, returning the outputs in
+    /// declaration order. Graphs with `sequence_steps > 1` execute the
+    /// node set that many times with state feedback (the hardware's
+    /// recurrence loop) and return the final step's outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width differs from the graph's input node.
+    pub fn run(&mut self, input: &[i32]) -> Vec<Vec<i32>> {
+        let steps = self.graph.sequence_steps();
+        let mut out = self.run_step(input);
+        for _ in 1..steps {
+            out = self.run_step(input);
+        }
+        out
+    }
+
+    /// Evaluates exactly one recurrence step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width differs from the graph's input node.
+    pub fn run_step(&mut self, input: &[i32]) -> Vec<Vec<i32>> {
+        assert_eq!(input.len(), self.graph.input_width(), "input width mismatch");
+        let mut values: HashMap<NodeId, Vec<i32>> = HashMap::with_capacity(self.graph.nodes().len());
+        let mut pending_state: Vec<(usize, Vec<i32>)> = Vec::new();
+
+        for id in self.graph.topo_order() {
+            let node = self.graph.node(id);
+            let get = |nid: &NodeId| -> &Vec<i32> { values.get(nid).expect("topological order") };
+            let out: Vec<i32> = match &node.op {
+                Op::Input { .. } => input.to_vec(),
+                Op::Const { values } => values.clone(),
+                Op::Map { op, a, b } => {
+                    let av = get(a);
+                    let make = |j: usize, bv: i32| eval_map(*op, av[j], bv);
+                    match b {
+                        Operand::Node(n) => {
+                            let bv = get(n);
+                            (0..av.len())
+                                .map(|j| make(j, if bv.len() == 1 { bv[0] } else { bv[j] }))
+                                .collect()
+                        }
+                        Operand::Const(c) => (0..av.len())
+                            .map(|j| make(j, if c.len() == 1 { c[0] } else { c[j] }))
+                            .collect(),
+                    }
+                }
+                Op::Reduce { op, input } => vec![eval_reduce(*op, get(input))],
+                Op::MatVec { weights, zero_point, input } => {
+                    let bank = self.graph.weight(*weights);
+                    let x = get(input);
+                    (0..bank.rows).map(|r| matvec_row(bank.row(r), x, *zero_point)).collect()
+                }
+                Op::SqDist { weights, input } => {
+                    let bank = self.graph.weight(*weights);
+                    let x = get(input);
+                    (0..bank.rows).map(|r| sqdist_row(bank.row(r), x)).collect()
+                }
+                Op::AddBias { bias, input } => {
+                    get(input).iter().zip(bias).map(|(&v, &b)| v.wrapping_add(b)).collect()
+                }
+                Op::Requant { requant, input } => {
+                    get(input).iter().map(|&v| i32::from(requant.apply(v))).collect()
+                }
+                Op::Lut { lut, input } => {
+                    let table = self.graph.lut(*lut);
+                    get(input)
+                        .iter()
+                        .map(|&v| {
+                            let code = v.clamp(-128, 127);
+                            i32::from(table[(code + 128) as usize])
+                        })
+                        .collect()
+                }
+                Op::GreaterZero { input } => {
+                    get(input).iter().map(|&v| i32::from(v > 0)).collect()
+                }
+                Op::Concat { inputs } => {
+                    inputs.iter().flat_map(|n| get(n).iter().copied().collect::<Vec<_>>()).collect()
+                }
+                Op::Slice { input, start, len } => get(input)[*start..*start + *len].to_vec(),
+                Op::StateRead { state } => self.state[state.0 as usize].clone(),
+                Op::StateWrite { state, input } => {
+                    let v = get(input).clone();
+                    pending_state.push((state.0 as usize, v.clone()));
+                    v
+                }
+            };
+            debug_assert_eq!(out.len(), node.width, "node {id:?} produced wrong width");
+            values.insert(id, out);
+        }
+
+        // State updates commit at end-of-packet, so all reads within one
+        // invocation see the previous packet's values.
+        for (idx, v) in pending_state {
+            self.state[idx] = v;
+        }
+
+        self.graph
+            .outputs()
+            .iter()
+            .map(|id| values.get(id).expect("outputs computed").clone())
+            .collect()
+    }
+
+    /// Convenience: run and flatten all outputs into one vector.
+    pub fn run_flat(&mut self, input: &[i32]) -> Vec<i32> {
+        self.run(input).into_iter().flatten().collect()
+    }
+}
+
+/// Computes one row of a MatVec: `Σ_j W[r,j]·(x[j] − zero_point)` with
+/// wrapping `i32` arithmetic. Exported so the CGRA simulator shares the
+/// exact semantics.
+pub fn matvec_row(row: &[i8], x: &[i32], zero_point: i32) -> i32 {
+    row.iter().zip(x).fold(0i32, |acc, (&w, &xv)| {
+        acc.wrapping_add(i32::from(w).wrapping_mul(xv.wrapping_sub(zero_point)))
+    })
+}
+
+/// Computes one row of a SqDist: `Σ_j (x[j] − W[r,j])²` with wrapping
+/// `i32` arithmetic. Exported for the CGRA simulator.
+pub fn sqdist_row(row: &[i8], x: &[i32]) -> i32 {
+    row.iter().zip(x).fold(0i32, |acc, (&w, &xv)| {
+        let d = xv.wrapping_sub(i32::from(w));
+        acc.wrapping_add(d.wrapping_mul(d))
+    })
+}
+
+/// Lane-wise map semantics (wrapping `i32`). Exported for the CGRA
+/// simulator.
+pub fn eval_map(op: MapOp, a: i32, b: i32) -> i32 {
+    match op {
+        MapOp::Add => a.wrapping_add(b),
+        MapOp::Sub => a.wrapping_sub(b),
+        MapOp::Mul => a.wrapping_mul(b),
+        MapOp::Min => a.min(b),
+        MapOp::Max => a.max(b),
+        MapOp::Shr => a >> b.clamp(0, 31),
+        MapOp::Shl => a.wrapping_shl(b.clamp(0, 31) as u32),
+    }
+}
+
+/// Reduction semantics (wrapping `i32` add; first-on-ties argmin/argmax).
+/// Exported for the CGRA simulator.
+pub fn eval_reduce(op: ReduceOp, v: &[i32]) -> i32 {
+    match op {
+        ReduceOp::Add => v.iter().fold(0i32, |a, &b| a.wrapping_add(b)),
+        ReduceOp::Min => v.iter().copied().min().unwrap_or(0),
+        ReduceOp::Max => v.iter().copied().max().unwrap_or(0),
+        ReduceOp::ArgMin => {
+            let mut best = 0usize;
+            for (i, &x) in v.iter().enumerate() {
+                if x < v[best] {
+                    best = i;
+                }
+            }
+            best as i32
+        }
+        ReduceOp::ArgMax => {
+            let mut best = 0usize;
+            for (i, &x) in v.iter().enumerate() {
+                if x > v[best] {
+                    best = i;
+                }
+            }
+            best as i32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::{MapOp, ReduceOp};
+
+    #[test]
+    fn perceptron_dot_product() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(4);
+        let w = b.weights("w", 1, 4, vec![1, 2, 3, 4]);
+        let dot = b.map_reduce_rows(w, x, 0);
+        b.output(dot);
+        let g = b.finish().expect("valid");
+        let mut interp = Interpreter::new(&g);
+        // 1·1 + 2·2 + 3·3 + 4·4 = 30.
+        assert_eq!(interp.run_flat(&[1, 2, 3, 4]), vec![30]);
+    }
+
+    #[test]
+    fn matvec_zero_point_correction() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(2);
+        let w = b.weights("w", 1, 2, vec![3, -3]);
+        let dot = b.map_reduce_rows(w, x, 10);
+        b.output(dot);
+        let g = b.finish().expect("valid");
+        // 3·(12−10) + (−3)·(8−10) = 6 + 6 = 12.
+        assert_eq!(Interpreter::new(&g).run_flat(&[12, 8]), vec![12]);
+    }
+
+    #[test]
+    fn sq_dist_rows() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(2);
+        let w = b.weights("c", 2, 2, vec![0, 0, 3, 4]);
+        let d = b.sq_dist_rows(w, x);
+        let nearest = b.reduce(ReduceOp::ArgMin, d);
+        b.output(nearest);
+        let g = b.finish().expect("valid");
+        assert_eq!(Interpreter::new(&g).run_flat(&[3, 4]), vec![1]);
+        assert_eq!(Interpreter::new(&g).run_flat(&[0, 1]), vec![0]);
+    }
+
+    #[test]
+    fn map_ops_semantics() {
+        for (op, a, bv, expect) in [
+            (MapOp::Add, 3, 4, 7),
+            (MapOp::Sub, 3, 4, -1),
+            (MapOp::Mul, -3, 4, -12),
+            (MapOp::Min, 3, 4, 3),
+            (MapOp::Max, 3, 4, 4),
+            (MapOp::Shr, -8, 2, -2),
+            (MapOp::Shl, 3, 2, 12),
+        ] {
+            assert_eq!(eval_map(op, a, bv), expect, "{op:?}");
+        }
+        // Wrapping, not saturating.
+        assert_eq!(eval_map(MapOp::Add, i32::MAX, 1), i32::MIN);
+    }
+
+    #[test]
+    fn reduce_ops_semantics() {
+        let v = [5, -2, 9, -2];
+        assert_eq!(eval_reduce(ReduceOp::Add, &v), 10);
+        assert_eq!(eval_reduce(ReduceOp::Min, &v), -2);
+        assert_eq!(eval_reduce(ReduceOp::Max, &v), 9);
+        assert_eq!(eval_reduce(ReduceOp::ArgMin, &v), 1, "first on ties");
+        assert_eq!(eval_reduce(ReduceOp::ArgMax, &v), 2);
+    }
+
+    #[test]
+    fn lut_clamps_out_of_range_codes() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(1);
+        let table: Vec<i8> = (0..256).map(|i| (i as i32 - 128).clamp(-128, 127) as i8).collect();
+        let lut = b.lut(table);
+        let y = b.lookup(x, lut);
+        b.output(y);
+        let g = b.finish().expect("valid");
+        let mut interp = Interpreter::new(&g);
+        assert_eq!(interp.run_flat(&[1_000]), vec![127]);
+        assert_eq!(interp.run_flat(&[-1_000]), vec![-128]);
+        assert_eq!(interp.run_flat(&[5]), vec![5]);
+    }
+
+    #[test]
+    fn state_sees_previous_packet() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(1);
+        let h = b.state("h", 1);
+        let prev = b.state_read(h);
+        let sum = b.map(MapOp::Add, x, prev);
+        let wr = b.state_write(h, sum);
+        b.output(wr);
+        let g = b.finish().expect("valid");
+        let mut interp = Interpreter::new(&g);
+        assert_eq!(interp.run_flat(&[1]), vec![1]);
+        assert_eq!(interp.run_flat(&[1]), vec![2]);
+        assert_eq!(interp.run_flat(&[10]), vec![12]);
+    }
+
+    #[test]
+    fn broadcast_scalar_operand() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(3);
+        let s = b.reduce(ReduceOp::Max, x);
+        let centered = b.map(MapOp::Sub, x, s);
+        b.output(centered);
+        let g = b.finish().expect("valid");
+        assert_eq!(Interpreter::new(&g).run_flat(&[1, 5, 3]), vec![-4, 0, -2]);
+    }
+
+    #[test]
+    fn greater_zero_and_concat_slice() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(3);
+        let gz = b.greater_zero(x);
+        let cat = b.concat(vec![gz, x]);
+        let s = b.slice(cat, 1, 3);
+        b.output(s);
+        let g = b.finish().expect("valid");
+        assert_eq!(Interpreter::new(&g).run_flat(&[-5, 7, 0]), vec![1, 0, -5]);
+    }
+}

@@ -1,0 +1,394 @@
+//! Table 6's microbenchmarks as MapReduce programs.
+//!
+//! §5.1.3 decomposes data-plane models into reusable building blocks: two
+//! linear kernels (a 16-element inner product and a Conv1D with eight
+//! outputs and kernel size two) and seven activation implementations.
+//! Each builder here returns a self-contained [`Graph`] that the compiler
+//! maps onto the grid; the area/latency differences Table 6 reports fall
+//! out of the op-chain lengths (exp-series ≫ piecewise ≫ ReLU/LUT).
+//!
+//! Numeric convention: activation benchmarks interpret lanes as Q4.4
+//! fixed point (code 16 = 1.0) over the int8 range, matching an 8-bit
+//! datapath with four fractional bits.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, MapOp, NodeId};
+
+/// Number of lanes in a CU (paper's final configuration).
+pub const LANES: usize = 16;
+
+/// Q4.4 code for 1.0.
+pub const Q44_ONE: i32 = 16;
+
+/// All Table 6 microbenchmark names, in the paper's row order.
+pub const ALL_MICROBENCHMARKS: [&str; 9] = [
+    "Conv1D",
+    "Inner Product",
+    "ReLU",
+    "LeakyReLU",
+    "TanhExp",
+    "SigmoidExp",
+    "TanhPW",
+    "SigmoidPW",
+    "ActLUT",
+];
+
+/// Builds a microbenchmark by its Table 6 name.
+///
+/// # Panics
+///
+/// Panics on an unknown name (use [`ALL_MICROBENCHMARKS`]).
+pub fn by_name(name: &str) -> Graph {
+    match name {
+        "Conv1D" => conv1d(),
+        "Inner Product" => inner_product(),
+        "ReLU" => relu(),
+        "LeakyReLU" => leaky_relu(),
+        "TanhExp" => tanh_exp(),
+        "SigmoidExp" => sigmoid_exp(),
+        "TanhPW" => tanh_pw(),
+        "SigmoidPW" => sigmoid_pw(),
+        "ActLUT" => act_lut(),
+        other => panic!("unknown microbenchmark {other:?}"),
+    }
+}
+
+/// 16-element inner product — "the core of perceptron neural networks,
+/// LSTMs, and SVMs"; runs at line rate in a single CU.
+pub fn inner_product() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(LANES);
+    let w = b.weights("w", 1, LANES, (0..LANES).map(|i| (i as i8 % 5) - 2).collect());
+    let dot = b.map_reduce_rows(w, x, 0);
+    b.output(dot);
+    b.finish().expect("inner product is valid")
+}
+
+/// Conv1D with eight outputs and kernel dimension two. Maps poorly to
+/// vectorized MapReduce (eight tiny reductions), hence the unroll story
+/// of Table 7: `outer_iters = 8`.
+pub fn conv1d() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(9);
+    let w = b.weights("k", 1, 2, vec![3, -2]);
+    let mut outs = Vec::new();
+    for i in 0..8 {
+        b.set_iteration(Some(i as u32));
+        let window = b.slice(x, i, 2);
+        let y = b.map_reduce_rows(w, window, 0);
+        outs.push(y);
+    }
+    b.set_iteration(None);
+    let cat = b.concat(outs);
+    b.output(cat);
+    b.outer_iters(8);
+    b.finish().expect("conv1d is valid")
+}
+
+/// ReLU over 16 lanes: a single max-with-zero map.
+pub fn relu() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(LANES);
+    let y = b.map_max_const(x, 0);
+    b.output(y);
+    b.finish().expect("relu is valid")
+}
+
+/// LeakyReLU (slope 1/8) over 16 lanes: shift + max, two maps.
+///
+/// For negative lanes `x >> 3 > x`, for positive `x > x >> 3`, so
+/// `max(x, x >> 3)` is exactly leaky ReLU with a power-of-two slope.
+pub fn leaky_relu() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(LANES);
+    let eighth = b.map_const(MapOp::Shr, x, vec![3]);
+    let y = b.map(MapOp::Max, x, eighth);
+    b.output(y);
+    b.finish().expect("leaky relu is valid")
+}
+
+/// Shared exp-series sigmoid core on Q4.4 codes; returns the output node.
+///
+/// Implements `σ(x) = 1 / (1 + e^{−x})` with base-2 range reduction
+/// (`e^{−t} = 2^{−1.44·t}`), a quadratic fractional-power approximation,
+/// and two Newton–Raphson reciprocal iterations — the arithmetic shape
+/// that makes the Exp variants 2–5× larger than piecewise ones (§5.1.3).
+fn sigmoid_exp_core(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    // |x| and sign handling: σ(−x) = 1 − σ(x); compute on |x|.
+    let neg = b.map_const(MapOp::Mul, x, vec![-1]);
+    let ax = b.map(MapOp::Max, x, neg);
+    let ax = b.map_const(MapOp::Min, ax, vec![7 * Q44_ONE]); // clamp to 7.0
+
+    // u = 1.44·|x| in Q4.4: u = (ax·23) >> 4.
+    let u_scaled = b.map_const(MapOp::Mul, ax, vec![23]);
+    let u = b.map_const(MapOp::Shr, u_scaled, vec![4]);
+    // Integer part k = u >> 4, fraction f = u − (k << 4).
+    let k = b.map_const(MapOp::Shr, u, vec![4]);
+    let k_shift = b.map_const(MapOp::Shl, k, vec![4]);
+    let f = b.map(MapOp::Sub, u, k_shift);
+    // 2^{−f/16} ≈ 1 − 0.693·(f/16) + 0.24·(f/16)² − 0.056·(f/16)³ in Q4.4:
+    //   e ≈ 16 − ((f·177) >> 8) + ((f·f·61) >> 12) − ((f·f·f·57) >> 18)
+    let t1_m = b.map_const(MapOp::Mul, f, vec![177]);
+    let t1 = b.map_const(MapOp::Shr, t1_m, vec![8]);
+    let f2 = b.map(MapOp::Mul, f, f);
+    let t2_m = b.map_const(MapOp::Mul, f2, vec![61]);
+    let t2 = b.map_const(MapOp::Shr, t2_m, vec![12]);
+    let f3 = b.map(MapOp::Mul, f2, f);
+    let t3_m = b.map_const(MapOp::Mul, f3, vec![57]);
+    let t3 = b.map_const(MapOp::Shr, t3_m, vec![18]);
+    let t1_neg = b.map_const(MapOp::Mul, t1, vec![-1]);
+    let e_frac0 = b.map_const(MapOp::Add, t1_neg, vec![Q44_ONE]); // 1 − t1
+    let e_frac1 = b.map(MapOp::Add, e_frac0, t2);
+    let e_frac = b.map(MapOp::Sub, e_frac1, t3);
+    // e^{−|x|} = e_frac >> k (per-lane variable shift).
+    let e = b.map(MapOp::Shr, e_frac, k);
+
+    // d = 1 + e in Q4.4; reciprocal r ≈ 1/d via Newton: r' = r·(2 − d·r).
+    let d = b.map_const(MapOp::Add, e, vec![Q44_ONE]);
+    // Initial guess: linear fit r0 ≈ 0.94 − (d − 1)/4 on d ∈ [1, 2].
+    let d_off = b.map_const(MapOp::Sub, d, vec![Q44_ONE]);
+    let corr = b.map_const(MapOp::Shr, d_off, vec![2]);
+    let corr_neg = b.map_const(MapOp::Mul, corr, vec![-1]);
+    let r0 = b.map_const(MapOp::Add, corr_neg, vec![15]);
+    let newton = |b: &mut GraphBuilder, r: NodeId| {
+        let dr_m = b.map(MapOp::Mul, d, r);
+        let dr = b.map_const(MapOp::Shr, dr_m, vec![4]);
+        let dr_neg = b.map_const(MapOp::Mul, dr, vec![-1]);
+        let diff = b.map_const(MapOp::Add, dr_neg, vec![2 * Q44_ONE]); // 2 − d·r
+        let rn_m = b.map(MapOp::Mul, r, diff);
+        b.map_const(MapOp::Shr, rn_m, vec![4])
+    };
+    let r1 = newton(b, r0);
+    let r1b = newton(b, r1);
+    let r2 = newton(b, r1b);
+    // σ(|x|) = r2 (numerator is 1.0); restore sign via
+    // σ(x) = (1 − σ(|x|)) + (x > 0)·(2σ(|x|) − 1).
+    let g = b.greater_zero(x);
+    let r2_neg = b.map_const(MapOp::Mul, r2, vec![-1]);
+    let flip = b.map_const(MapOp::Add, r2_neg, vec![Q44_ONE]); // 1 − σ
+    let diff = b.map(MapOp::Sub, r2, flip); // 2σ − 1
+    let g_diff_m = b.map(MapOp::Mul, g, diff);
+    let pos_part = b.map(MapOp::Add, flip, g_diff_m);
+    // Clamp to [0, 16].
+    let lo = b.map_max_const(pos_part, 0);
+    b.map_const(MapOp::Min, lo, vec![Q44_ONE])
+}
+
+/// Sigmoid via exponential series over 16 lanes (`SigmoidExp`).
+pub fn sigmoid_exp() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(LANES);
+    let y = sigmoid_exp_core(&mut b, x);
+    b.output(y);
+    b.finish().expect("sigmoid exp is valid")
+}
+
+/// Tanh via the exponential series (`TanhExp`): `tanh(x) = 2σ(2x) − 1`.
+pub fn tanh_exp() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(LANES);
+    let x2 = b.map_const(MapOp::Shl, x, vec![1]);
+    let s = sigmoid_exp_core(&mut b, x2);
+    let s2 = b.map_const(MapOp::Shl, s, vec![1]);
+    let y = b.map_const(MapOp::Sub, s2, vec![Q44_ONE]);
+    b.output(y);
+    b.finish().expect("tanh exp is valid")
+}
+
+/// The shared piecewise-linear tanh core on Q4.4 codes: slope 1 to 0.5,
+/// slope ½ to 0.75, then saturation at 1.0 — three segments from shifts
+/// and min/max only.
+fn tanh_pw_core(b: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let neg = b.map_const(MapOp::Mul, x, vec![-1]);
+    let ax = b.map(MapOp::Max, x, neg);
+    // Segment 1+2: y = min(ax,16) − max(min(ax,16) − 8, 0)/2.
+    let m16 = b.map_const(MapOp::Min, ax, vec![Q44_ONE]);
+    let over = b.map_const(MapOp::Sub, m16, vec![8]);
+    let over_pos = b.map_max_const(over, 0);
+    let knee = b.map_const(MapOp::Shr, over_pos, vec![1]);
+    let y12 = b.map(MapOp::Sub, m16, knee);
+    // Segment 3: + min(max(ax − 16, 0) >> 2, 4) caps at 16.
+    let tail = b.map_const(MapOp::Sub, ax, vec![Q44_ONE]);
+    let tail_pos = b.map_max_const(tail, 0);
+    let tail_shr = b.map_const(MapOp::Shr, tail_pos, vec![2]);
+    let tail_cap = b.map_const(MapOp::Min, tail_shr, vec![4]);
+    let y_abs = b.map(MapOp::Add, y12, tail_cap);
+    // Restore sign: y = (2·(x>0) − 1)·y_abs.
+    let g = b.greater_zero(x);
+    let g2 = b.map_const(MapOp::Shl, g, vec![1]);
+    let sign = b.map_const(MapOp::Sub, g2, vec![1]);
+    b.map(MapOp::Mul, y_abs, sign)
+}
+
+/// Piecewise-linear tanh (`TanhPW`).
+pub fn tanh_pw() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(LANES);
+    let y = tanh_pw_core(&mut b, x);
+    b.output(y);
+    b.finish().expect("tanh pw is valid")
+}
+
+/// Piecewise-linear sigmoid (`SigmoidPW`) via the identity
+/// `σ(x) = (tanh(x/2) + 1) / 2` over the [`tanh_pw`] core — slightly more
+/// ops than `TanhPW`, matching Table 6's area ordering.
+pub fn sigmoid_pw() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(LANES);
+    let half = b.map_const(MapOp::Shr, x, vec![1]);
+    let t = tanh_pw_core(&mut b, half);
+    let t1 = b.map_const(MapOp::Add, t, vec![Q44_ONE]);
+    let y = b.map_const(MapOp::Shr, t1, vec![1]);
+    b.output(y);
+    b.finish().expect("sigmoid pw is valid")
+}
+
+/// LUT-based activation (`ActLUT`): one table lookup per lane; the table
+/// itself (1024×8 b in the paper; 256×8 b per int8 code here) lives in an
+/// MU.
+pub fn act_lut() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(LANES);
+    // Table: tanh on Q4.4 codes.
+    let table: Vec<i8> = (0..256)
+        .map(|i| {
+            let code = i as i32 - 128;
+            let real = code as f32 / Q44_ONE as f32;
+            (real.tanh() * Q44_ONE as f32).round().clamp(-128.0, 127.0) as i8
+        })
+        .collect();
+    let lut = b.lut(table);
+    let y = b.lookup(x, lut);
+    b.output(y);
+    b.finish().expect("act lut is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+
+    fn run1(g: &Graph, x: i32) -> i32 {
+        let w = g.input_width();
+        let mut interp = Interpreter::new(g);
+        interp.run_flat(&vec![x; w])[0]
+    }
+
+    #[test]
+    fn all_names_build_valid_graphs() {
+        for name in ALL_MICROBENCHMARKS {
+            let g = by_name(name);
+            assert!(g.validate().is_ok(), "{name}");
+            assert!(!g.outputs().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown microbenchmark")]
+    fn unknown_name_panics() {
+        let _ = by_name("Softmax3000");
+    }
+
+    #[test]
+    fn inner_product_matches_manual_dot() {
+        let g = inner_product();
+        let mut interp = Interpreter::new(&g);
+        let x: Vec<i32> = (0..16).map(|i| i + 1).collect();
+        let w: Vec<i32> = (0..16).map(|i| (i % 5) - 2).collect();
+        let expect: i32 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+        assert_eq!(interp.run_flat(&x), vec![expect]);
+    }
+
+    #[test]
+    fn conv1d_computes_sliding_dot() {
+        let g = conv1d();
+        let mut interp = Interpreter::new(&g);
+        let x: Vec<i32> = (1..=9).collect();
+        let out = interp.run_flat(&x);
+        assert_eq!(out.len(), 8);
+        for i in 0..8 {
+            assert_eq!(out[i], 3 * x[i] - 2 * x[i + 1], "output {i}");
+        }
+        assert_eq!(g.outer_iters(), 8);
+    }
+
+    #[test]
+    fn relu_and_leaky_relu_semantics() {
+        assert_eq!(run1(&relu(), -5), 0);
+        assert_eq!(run1(&relu(), 7), 7);
+        assert_eq!(run1(&leaky_relu(), 64), 64);
+        assert_eq!(run1(&leaky_relu(), -64), -8);
+    }
+
+    #[test]
+    fn sigmoid_pw_is_bounded_and_centered() {
+        let g = sigmoid_pw();
+        for x in (-128..=127).step_by(3) {
+            let y = run1(&g, x);
+            assert!((0..=Q44_ONE).contains(&y), "x={x} y={y}");
+        }
+        assert_eq!(run1(&g, 0), 8, "σ(0) = 0.5");
+        assert!(run1(&g, 127) >= 14);
+        assert!(run1(&g, -128) <= 2);
+    }
+
+    #[test]
+    fn tanh_pw_is_odd_and_saturating() {
+        let g = tanh_pw();
+        assert_eq!(run1(&g, 0), 0);
+        for x in [4, 8, 16, 40, 100] {
+            let y_pos = run1(&g, x);
+            let y_neg = run1(&g, -x);
+            assert_eq!(y_pos, -y_neg, "odd symmetry at {x}");
+            assert!((0..=Q44_ONE).contains(&y_pos), "x={x} y={y_pos}");
+        }
+        assert_eq!(run1(&g, 100), Q44_ONE, "saturates at 1.0");
+        // Slope-1 region: tanh(x) ≈ x for small x.
+        assert_eq!(run1(&g, 4), 4);
+    }
+
+    #[test]
+    fn sigmoid_exp_reasonable_shape() {
+        let g = sigmoid_exp();
+        let mid = run1(&g, 0);
+        assert!((6..=10).contains(&mid), "σ(0) ≈ 0.5, got code {mid}");
+        assert!(run1(&g, 96) >= 13, "σ(6) ≈ 1");
+        assert!(run1(&g, -96) <= 3, "σ(−6) ≈ 0");
+        // Monotone non-decreasing on a coarse sweep.
+        let mut prev = i32::MIN;
+        for x in (-96..=96).step_by(16) {
+            let y = run1(&g, x);
+            assert!(y + 2 >= prev, "roughly monotone at {x}: {y} vs {prev}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn tanh_exp_reasonable_shape() {
+        let g = tanh_exp();
+        let mid = run1(&g, 0);
+        assert!(mid.abs() <= 3, "tanh(0) ≈ 0, got {mid}");
+        assert!(run1(&g, 64) >= 10, "tanh(4) ≈ 1");
+        assert!(run1(&g, -64) <= -10, "tanh(−4) ≈ −1");
+    }
+
+    #[test]
+    fn act_lut_matches_real_tanh() {
+        let g = act_lut();
+        for x in [-64, -16, 0, 16, 64] {
+            let y = run1(&g, x);
+            let expect = ((x as f32 / 16.0).tanh() * 16.0).round() as i32;
+            assert!((y - expect).abs() <= 1, "x={x} y={y} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn exp_variants_are_bigger_than_pw_variants() {
+        // The structural fact behind Table 6's area ordering.
+        let exp_ops = sigmoid_exp().nodes().len();
+        let pw_ops = sigmoid_pw().nodes().len();
+        let relu_ops = relu().nodes().len();
+        assert!(exp_ops > pw_ops, "{exp_ops} vs {pw_ops}");
+        assert!(pw_ops > relu_ops);
+    }
+}

@@ -1,0 +1,38 @@
+//! Software PISA switch pipeline: parser, MATs, registers, scheduler.
+//!
+//! Taurus reuses a standard PISA (Protocol-Independent Switch
+//! Architecture) pipeline for everything except inference (§4, Fig. 6):
+//! packets parse into PHVs, preprocessing MATs and stateful registers
+//! extract and format features, the MapReduce block (or a bypass path)
+//! produces a verdict, postprocessing MATs turn it into a forwarding
+//! decision, and a scheduler drains queues. This crate implements that
+//! substrate in software with the same structural budgets the paper
+//! cites (Tofino-like ops-per-stage limits, exact/LPM/ternary/range
+//! matching, register arrays indexed by five-tuple hash).
+//!
+//! - [`packet`]: Ethernet/IPv4/TCP/UDP packets with byte-level
+//!   serialization (built on `bytes`).
+//! - [`phv`]: the Packet Header Vector, a fixed-layout field container.
+//! - [`parser`]: the parse-graph state machine (wire bytes → PHV).
+//! - [`mat`]: match-action tables with VLIW action budgets.
+//! - [`registers`]: stateful register arrays and the flow-feature
+//!   extractor used by the anomaly-detection application (§5.2.2).
+//! - [`sched`]: FIFO queues, the round-robin ML/bypass join, and a
+//!   strict-priority + deficit-round-robin egress scheduler.
+//! - [`pipeline`]: the assembled Taurus data plane with per-block latency
+//!   accounting and a pluggable inference engine.
+
+pub mod mat;
+pub mod packet;
+pub mod parser;
+pub mod phv;
+pub mod pipeline;
+pub mod registers;
+pub mod sched;
+
+pub use mat::{Action, MatchKind, MatchTable, VliwOp};
+pub use packet::Packet;
+pub use parser::Parser;
+pub use phv::{Field, Phv};
+pub use pipeline::{InferenceEngine, PipelineConfig, TaurusPipeline, Verdict};
+pub use registers::{FlowFeatures, FlowTracker, RegisterArray};

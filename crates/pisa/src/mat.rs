@@ -1,0 +1,329 @@
+//! Match-action tables with VLIW action budgets.
+//!
+//! MATs match PHV fields (exact / LPM / ternary / range) and execute a
+//! short VLIW action — at most [`MAX_OPS_PER_ACTION`] primitive ops, the
+//! budget the paper cites for Tofino-class hardware ("only executes 12
+//! operations per stage", §2.1.1). Range-match entries double as the
+//! §3.1 preprocessing lookup tables that turn raw header values into
+//! feature codes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::phv::{Field, Phv};
+
+/// Per-action VLIW operation budget (Tofino-class, §2.1.1).
+pub const MAX_OPS_PER_ACTION: usize = 12;
+/// Latency charged per MAT stage (1 cycle at 1 GHz).
+pub const MAT_LATENCY_NS: u64 = 1;
+
+/// How one field is matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Field equals the value exactly.
+    Exact(i64),
+    /// Longest-prefix match on the top `prefix_len` of `width` bits.
+    Lpm {
+        /// Prefix value (already shifted into field position).
+        value: i64,
+        /// Bits that must match, from the MSB of the field.
+        prefix_len: u8,
+        /// Total field width in bits.
+        width: u8,
+    },
+    /// Ternary match: `field & mask == value & mask`.
+    Ternary {
+        /// Pattern.
+        value: i64,
+        /// Care bits.
+        mask: i64,
+    },
+    /// Inclusive range match.
+    Range {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+}
+
+impl MatchKind {
+    /// Whether a field value satisfies this match.
+    pub fn matches(&self, v: i64) -> bool {
+        match *self {
+            MatchKind::Exact(e) => v == e,
+            MatchKind::Lpm { value, prefix_len, width } => {
+                if prefix_len == 0 {
+                    return true;
+                }
+                let shift = i64::from(width.saturating_sub(prefix_len));
+                (v >> shift) == (value >> shift)
+            }
+            MatchKind::Ternary { value, mask } => v & mask == value & mask,
+            MatchKind::Range { lo, hi } => (lo..=hi).contains(&v),
+        }
+    }
+}
+
+/// A primitive VLIW operation on the PHV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VliwOp {
+    /// `dst = value`.
+    Set(Field, i64),
+    /// `dst += value`.
+    AddConst(Field, i64),
+    /// `dst = src`.
+    Copy(Field, Field),
+    /// `dst += src`.
+    AddField(Field, Field),
+    /// `dst -= src`.
+    SubField(Field, Field),
+    /// `dst &= mask`.
+    And(Field, i64),
+    /// `dst >>= shift` (arithmetic).
+    Shr(Field, u8),
+    /// `dst <<= shift`.
+    Shl(Field, u8),
+    /// `dst = min(dst, value)`.
+    MinConst(Field, i64),
+    /// `dst = max(dst, value)`.
+    MaxConst(Field, i64),
+}
+
+impl VliwOp {
+    /// Applies the op to a PHV.
+    pub fn apply(&self, phv: &mut Phv) {
+        match *self {
+            VliwOp::Set(f, v) => phv.set(f, v),
+            VliwOp::AddConst(f, v) => phv.set(f, phv.get(f).wrapping_add(v)),
+            VliwOp::Copy(dst, src) => phv.set(dst, phv.get(src)),
+            VliwOp::AddField(dst, src) => phv.set(dst, phv.get(dst).wrapping_add(phv.get(src))),
+            VliwOp::SubField(dst, src) => phv.set(dst, phv.get(dst).wrapping_sub(phv.get(src))),
+            VliwOp::And(f, m) => phv.set(f, phv.get(f) & m),
+            VliwOp::Shr(f, s) => phv.set(f, phv.get(f) >> s),
+            VliwOp::Shl(f, s) => phv.set(f, phv.get(f) << s),
+            VliwOp::MinConst(f, v) => phv.set(f, phv.get(f).min(v)),
+            VliwOp::MaxConst(f, v) => phv.set(f, phv.get(f).max(v)),
+        }
+    }
+}
+
+/// A compound action: a named, budget-checked op list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action {
+    /// Debug name.
+    pub name: String,
+    /// The ops, executed in order.
+    pub ops: Vec<VliwOp>,
+}
+
+impl Action {
+    /// Creates an action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` exceeds [`MAX_OPS_PER_ACTION`] — the point of the
+    /// VLIW budget is that it cannot be exceeded in hardware.
+    pub fn new(name: impl Into<String>, ops: Vec<VliwOp>) -> Self {
+        assert!(
+            ops.len() <= MAX_OPS_PER_ACTION,
+            "action exceeds the {MAX_OPS_PER_ACTION}-op VLIW budget"
+        );
+        Self { name: name.into(), ops }
+    }
+
+    /// The no-op action.
+    pub fn nop() -> Self {
+        Self { name: "nop".into(), ops: Vec::new() }
+    }
+
+    /// Applies all ops.
+    pub fn apply(&self, phv: &mut Phv) {
+        for op in &self.ops {
+            op.apply(phv);
+        }
+    }
+}
+
+/// One table entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Per-field match specs (all must match).
+    pub matches: Vec<(Field, MatchKind)>,
+    /// Higher wins among multiple hits.
+    pub priority: i32,
+    /// Action on hit.
+    pub action: Action,
+}
+
+/// A match-action table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchTable {
+    /// Debug name.
+    pub name: String,
+    entries: Vec<TableEntry>,
+    default_action: Action,
+    hits: u64,
+    misses: u64,
+}
+
+impl MatchTable {
+    /// Creates an empty table with a default (miss) action.
+    pub fn new(name: impl Into<String>, default_action: Action) -> Self {
+        Self { name: name.into(), entries: Vec::new(), default_action, hits: 0, misses: 0 }
+    }
+
+    /// Installs an entry (control-plane `table_add`).
+    pub fn add_entry(&mut self, entry: TableEntry) {
+        self.entries.push(entry);
+        // Highest priority first; stable for equal priorities.
+        self.entries.sort_by_key(|e| core::cmp::Reverse(e.priority));
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Applies the table to a PHV: first matching entry's action, or the
+    /// default on miss. Returns whether it was a hit.
+    pub fn apply(&mut self, phv: &mut Phv) -> bool {
+        for entry in &self.entries {
+            if entry.matches.iter().all(|(f, k)| k.matches(phv.get(*f))) {
+                entry.action.apply(phv);
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.default_action.apply(phv);
+        self.misses += 1;
+        false
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Builds a range-encoder table (the §3.1 preprocessing lookup):
+    /// value ranges of `src` map to codes written into `dst`.
+    pub fn range_encoder(
+        name: impl Into<String>,
+        src: Field,
+        dst: Field,
+        ranges: &[(i64, i64, i64)],
+        default_code: i64,
+    ) -> Self {
+        let mut t = Self::new(name, Action::new("default-code", vec![VliwOp::Set(dst, default_code)]));
+        for &(lo, hi, code) in ranges {
+            t.add_entry(TableEntry {
+                matches: vec![(src, MatchKind::Range { lo, hi })],
+                priority: 0,
+                action: Action::new("encode", vec![VliwOp::Set(dst, code)]),
+            });
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_kinds() {
+        assert!(MatchKind::Exact(5).matches(5));
+        assert!(!MatchKind::Exact(5).matches(6));
+        // 10.0.0.0/8 over 32-bit fields.
+        let lpm = MatchKind::Lpm { value: 0x0A000000, prefix_len: 8, width: 32 };
+        assert!(lpm.matches(0x0A123456));
+        assert!(!lpm.matches(0x0B000000));
+        let tern = MatchKind::Ternary { value: 0x02, mask: 0x02 };
+        assert!(tern.matches(0x12), "SYN bit set");
+        assert!(!tern.matches(0x10));
+        assert!(MatchKind::Range { lo: 10, hi: 20 }.matches(10));
+        assert!(MatchKind::Range { lo: 10, hi: 20 }.matches(20));
+        assert!(!MatchKind::Range { lo: 10, hi: 20 }.matches(21));
+    }
+
+    #[test]
+    fn vliw_ops() {
+        let mut phv = Phv::new();
+        phv.set(Field::Meta(0), 10);
+        VliwOp::AddConst(Field::Meta(0), 5).apply(&mut phv);
+        assert_eq!(phv.get(Field::Meta(0)), 15);
+        VliwOp::Shl(Field::Meta(0), 2).apply(&mut phv);
+        assert_eq!(phv.get(Field::Meta(0)), 60);
+        VliwOp::Copy(Field::Meta(1), Field::Meta(0)).apply(&mut phv);
+        VliwOp::SubField(Field::Meta(1), Field::Meta(0)).apply(&mut phv);
+        assert_eq!(phv.get(Field::Meta(1)), 0);
+        VliwOp::MaxConst(Field::Meta(1), 7).apply(&mut phv);
+        assert_eq!(phv.get(Field::Meta(1)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "VLIW budget")]
+    fn action_budget_enforced() {
+        let ops = vec![VliwOp::Set(Field::Meta(0), 0); 13];
+        let _ = Action::new("too-big", ops);
+    }
+
+    #[test]
+    fn table_priority_and_default() {
+        let mut t = MatchTable::new(
+            "acl",
+            Action::new("allow", vec![VliwOp::Set(Field::Decision, 0)]),
+        );
+        t.add_entry(TableEntry {
+            matches: vec![(Field::DstPort, MatchKind::Exact(23))],
+            priority: 10,
+            action: Action::new("drop-telnet", vec![VliwOp::Set(Field::Decision, 1)]),
+        });
+        t.add_entry(TableEntry {
+            matches: vec![(Field::DstPort, MatchKind::Range { lo: 0, hi: 1023 })],
+            priority: 1,
+            action: Action::new("flag-low", vec![VliwOp::Set(Field::Decision, 2)]),
+        });
+
+        let mut phv = Phv::new();
+        phv.set(Field::DstPort, 23);
+        assert!(t.apply(&mut phv));
+        assert_eq!(phv.get(Field::Decision), 1, "higher priority wins");
+
+        phv.set(Field::DstPort, 80);
+        t.apply(&mut phv);
+        assert_eq!(phv.get(Field::Decision), 2);
+
+        phv.set(Field::DstPort, 8080);
+        assert!(!t.apply(&mut phv));
+        assert_eq!(phv.get(Field::Decision), 0, "default on miss");
+        assert_eq!(t.stats(), (2, 1));
+    }
+
+    #[test]
+    fn range_encoder_builds_lookup() {
+        let t0 = MatchTable::range_encoder(
+            "port-likelihood",
+            Field::DstPort,
+            Field::Feature(0),
+            &[(0, 1023, 10), (1024, 49151, 50), (49152, 65535, 90)],
+            0,
+        );
+        let mut t = t0;
+        let mut phv = Phv::new();
+        for (port, code) in [(80i64, 10i64), (8080, 50), (60000, 90)] {
+            phv.set(Field::DstPort, port);
+            t.apply(&mut phv);
+            assert_eq!(phv.get(Field::Feature(0)), code, "port {port}");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The assembled Taurus data-plane pipeline (Fig. 6).
+//!
+//! `Parse → preprocessing MATs (+ flow registers) → {MapReduce | bypass}
+//! → RR join → postprocessing MATs → scheduler`, with per-block latency
+//! accounting so end-to-end packet latency can be reported. The
+//! MapReduce block itself is pluggable via [`InferenceEngine`] — the
+//! integration crate wires in the cycle-level CGRA simulator; unit tests
+//! here use a trivial threshold engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mat::{MatchTable, MAT_LATENCY_NS};
+use crate::packet::Packet;
+use crate::parser::{Parser, PARSE_LATENCY_NS};
+use crate::phv::Field;
+use crate::registers::{FlowFeatures, FlowTracker, PacketObs};
+use crate::sched::RoundRobinJoin;
+
+/// The per-packet ML block: consumes formatted feature codes, produces a
+/// verdict value for [`Field::MlOut`] plus its processing latency.
+pub trait InferenceEngine {
+    /// Runs inference on one packet's features.
+    fn infer(&mut self, features: &[i32]) -> i64;
+
+    /// The block's ingress-to-egress latency in nanoseconds.
+    fn latency_ns(&self) -> u64;
+}
+
+/// A trivial engine: flags when the sum of features exceeds a threshold.
+/// Useful for tests and as the simplest possible "heuristic" baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdEngine {
+    /// Flag when Σ features > threshold.
+    pub threshold: i64,
+}
+
+impl InferenceEngine for ThresholdEngine {
+    fn infer(&mut self, features: &[i32]) -> i64 {
+        i64::from(features.iter().map(|&v| i64::from(v)).sum::<i64>() > self.threshold)
+    }
+
+    fn latency_ns(&self) -> u64 {
+        1
+    }
+}
+
+/// The final forwarding decision (written to [`Field::Decision`] by the
+/// postprocessing MATs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Forward normally.
+    Forward,
+    /// Drop the packet.
+    Drop,
+    /// Forward but mark/flag (e.g., mirror to an analyzer).
+    Flag,
+}
+
+impl Verdict {
+    /// Decodes the PHV decision field (0 = forward, 1 = drop, 2 = flag).
+    pub fn from_code(code: i64) -> Verdict {
+        match code {
+            1 => Verdict::Drop,
+            2 => Verdict::Flag,
+            _ => Verdict::Forward,
+        }
+    }
+}
+
+/// Pipeline construction parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Register cells per flow-state array.
+    pub flow_slots: usize,
+    /// Cross-flow counting window, ns.
+    pub window_ns: u64,
+    /// Number of feature codes handed to the MapReduce block.
+    pub feature_count: usize,
+    /// Queue capacity on each of the three sub-queues.
+    pub queue_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { flow_slots: 4096, window_ns: 5_000_000, feature_count: 6, queue_capacity: 1024 }
+    }
+}
+
+/// Result of pushing one packet through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineResult {
+    /// The forwarding decision.
+    pub verdict: Verdict,
+    /// Raw ML output (meaningless for bypassed packets).
+    pub ml_out: i64,
+    /// Whether the packet took the bypass path.
+    pub bypassed: bool,
+    /// End-to-end pipeline latency, ns.
+    pub latency_ns: u64,
+    /// The flow features observed at this packet.
+    pub features: FlowFeatures,
+}
+
+/// The full Taurus device pipeline around a pluggable inference engine.
+pub struct TaurusPipeline<E> {
+    parser: Parser,
+    /// Preprocessing MATs (bypass decision, feature formatting helpers).
+    pub pre_tables: Vec<MatchTable>,
+    tracker: FlowTracker,
+    /// Turns raw flow features into the int8 codes the model expects
+    /// (standardization + quantization — conceptually MAT range tables).
+    formatter: Box<dyn FnMut(&FlowFeatures) -> Vec<i32> + Send>,
+    engine: E,
+    /// Postprocessing MATs (verdict thresholding, queue selection).
+    pub post_tables: Vec<MatchTable>,
+    join: RoundRobinJoin<()>,
+    config: PipelineConfig,
+    packets: u64,
+    ml_packets: u64,
+}
+
+impl<E: InferenceEngine> TaurusPipeline<E> {
+    /// Builds a pipeline.
+    pub fn new(
+        config: PipelineConfig,
+        engine: E,
+        formatter: impl FnMut(&FlowFeatures) -> Vec<i32> + Send + 'static,
+    ) -> Self {
+        Self {
+            parser: Parser::new(),
+            pre_tables: Vec::new(),
+            tracker: FlowTracker::new(config.flow_slots, config.window_ns),
+            formatter: Box::new(formatter),
+            engine,
+            post_tables: Vec::new(),
+            join: RoundRobinJoin::new(config.queue_capacity, config.queue_capacity),
+            config,
+            packets: 0,
+            ml_packets: 0,
+        }
+    }
+
+    /// Access to the inference engine (e.g., for weight updates).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Clears flow state between runs.
+    pub fn reset_state(&mut self) {
+        self.tracker.clear();
+    }
+
+    /// Processes one packet through the full pipeline.
+    ///
+    /// `obs_hint` carries trace ground truth the parser cannot recover
+    /// from a single packet (direction, flow start); real hardware infers
+    /// these from SYN/five-tuple state, and so does this hint builder in
+    /// `taurus-core`.
+    pub fn process(&mut self, pkt: &Packet, obs_hint: PacketObs) -> PipelineResult {
+        self.packets += 1;
+        let mut latency = PARSE_LATENCY_NS;
+        let mut phv = self.parser.parse(pkt);
+
+        // Stateful feature accumulation (register stage).
+        let features = self.tracker.observe(&obs_hint);
+        latency += MAT_LATENCY_NS; // register access rides one stage
+
+        // Preprocessing MATs: bypass decision and metadata.
+        for t in &mut self.pre_tables {
+            t.apply(&mut phv);
+            latency += MAT_LATENCY_NS;
+        }
+
+        let bypassed = phv.get(Field::BypassMl) != 0;
+        let mut ml_out = 0;
+        if bypassed {
+            // Fig. 6: bypass packets skip MapReduce with no added latency.
+            self.join.bypass.push(());
+        } else {
+            self.ml_packets += 1;
+            let codes = (self.formatter)(&features);
+            phv.set_features(&codes);
+            ml_out = self.engine.infer(&codes[..self.config.feature_count.min(codes.len())]);
+            phv.set(Field::MlOut, ml_out);
+            latency += self.engine.latency_ns();
+            self.join.ml.push(());
+        }
+        let _ = self.join.pop();
+
+        // Postprocessing MATs: verdict + queue.
+        for t in &mut self.post_tables {
+            t.apply(&mut phv);
+            latency += MAT_LATENCY_NS;
+        }
+
+        PipelineResult {
+            verdict: Verdict::from_code(phv.get(Field::Decision)),
+            ml_out,
+            bypassed,
+            latency_ns: latency,
+            features,
+        }
+    }
+
+    /// `(total packets, ML-path packets)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.packets, self.ml_packets)
+    }
+}
+
+impl<E: core::fmt::Debug> core::fmt::Debug for TaurusPipeline<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TaurusPipeline")
+            .field("engine", &self.engine)
+            .field("packets", &self.packets)
+            .field("ml_packets", &self.ml_packets)
+            .finish()
+    }
+}
+
+/// Builds the standard postprocessing table: `MlOut ≥ threshold ⇒ Drop`,
+/// else forward (the §3.2 anomaly-score interpretation).
+pub fn anomaly_post_table(threshold: i64) -> MatchTable {
+    use crate::mat::{Action, MatchKind, TableEntry, VliwOp};
+    let mut t = MatchTable::new(
+        "anomaly-verdict",
+        Action::new("forward", vec![VliwOp::Set(Field::Decision, 0)]),
+    );
+    t.add_entry(TableEntry {
+        matches: vec![(Field::MlOut, MatchKind::Range { lo: threshold, hi: i64::MAX })],
+        priority: 1,
+        action: Action::new("drop-anomaly", vec![VliwOp::Set(Field::Decision, 1)]),
+    });
+    t
+}
+
+/// Builds the standard preprocessing bypass table: only TCP/UDP visit the
+/// model; everything else bypasses (Fig. 6's preprocessing decision).
+pub fn ml_bypass_table() -> MatchTable {
+    use crate::mat::{Action, MatchKind, TableEntry, VliwOp};
+    let mut t = MatchTable::new(
+        "ml-select",
+        Action::new("bypass", vec![VliwOp::Set(Field::BypassMl, 1)]),
+    );
+    for proto in [6i64, 17] {
+        t.add_entry(TableEntry {
+            matches: vec![(Field::Proto, MatchKind::Exact(proto))],
+            priority: 1,
+            action: Action::new("to-ml", vec![VliwOp::Set(Field::BypassMl, 0)]),
+        });
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs_for(pkt: &Packet, start: bool) -> PacketObs {
+        PacketObs {
+            flow_key: u64::from(pkt.src_ip) << 16 | u64::from(pkt.src_port),
+            dst_key: u64::from(pkt.dst_ip),
+            srv_key: u64::from(pkt.dst_ip) << 16 | u64::from(pkt.dst_port),
+            reverse: false,
+            is_flow_start: start,
+            len: pkt.wire_len,
+            tcp_flags: pkt.tcp_flags,
+            proto: pkt.proto,
+            ts_ns: pkt.ts_ns,
+        }
+    }
+
+    fn pipeline() -> TaurusPipeline<ThresholdEngine> {
+        let mut p = TaurusPipeline::new(
+            PipelineConfig { feature_count: 6, ..PipelineConfig::default() },
+            ThresholdEngine { threshold: 100 },
+            |f: &FlowFeatures| f.encode_dnn6().iter().map(|&v| (v * 10.0) as i32).collect(),
+        );
+        p.pre_tables.push(ml_bypass_table());
+        p.post_tables.push(anomaly_post_table(1));
+        p
+    }
+
+    #[test]
+    fn tcp_packet_takes_ml_path() {
+        let mut p = pipeline();
+        let pkt = Packet::tcp(1, 2, 1000, 80, 0x02, 100);
+        let r = p.process(&pkt, obs_for(&pkt, true));
+        assert!(!r.bypassed);
+        assert_eq!(p.stats(), (1, 1));
+        assert!(r.latency_ns > PARSE_LATENCY_NS);
+    }
+
+    #[test]
+    fn icmp_bypasses_ml_with_no_engine_latency() {
+        let mut p = pipeline();
+        let mut pkt = Packet::tcp(1, 2, 0, 0, 0, 100);
+        pkt.proto = 1;
+        let r = p.process(&pkt, obs_for(&pkt, true));
+        assert!(r.bypassed);
+        assert_eq!(p.stats(), (1, 0));
+        // Bypass latency = parse + register + pre + post (no engine).
+        let mut p2 = pipeline();
+        let tcp = Packet::tcp(1, 2, 1000, 80, 0, 100);
+        let r2 = p2.process(&tcp, obs_for(&tcp, true));
+        assert!(r.latency_ns < r2.latency_ns, "bypass is strictly faster");
+    }
+
+    #[test]
+    fn verdict_follows_ml_output() {
+        // Engine flags when feature sum > 100; huge byte counts push the
+        // encoded features up.
+        let mut p = pipeline();
+        let mut pkt = Packet::tcp(1, 2, 1000, 80, 0, 1500);
+        let mut last = Verdict::Forward;
+        for i in 0..2_000 {
+            pkt.ts_ns = i * 1_000;
+            last = p.process(&pkt, obs_for(&pkt, i == 0)).verdict;
+        }
+        assert_eq!(last, Verdict::Drop, "sustained flow eventually flagged");
+    }
+
+    #[test]
+    fn verdict_codes() {
+        assert_eq!(Verdict::from_code(0), Verdict::Forward);
+        assert_eq!(Verdict::from_code(1), Verdict::Drop);
+        assert_eq!(Verdict::from_code(2), Verdict::Flag);
+        assert_eq!(Verdict::from_code(99), Verdict::Forward);
+    }
+}

@@ -1,0 +1,385 @@
+//! Stateful register arrays and the flow-feature extractor.
+//!
+//! §3.1: "We use stateful elements (i.e., registers) of the
+//! switch-processing pipeline to aggregate features across packets and
+//! across flows" — per-flow byte/packet/flag counters keyed by a
+//! five-tuple hash, plus cross-flow counters (connections to the same
+//! host / service in a sliding window, the KDD `count`/`srv_count`
+//! features). [`FlowTracker`] implements exactly the feature set the
+//! paper's anomaly-detection case study extracts (§5.2.2: "uses the
+//! packet's five-tuple to index a set of stateful registers, which
+//! accumulate features across packets (e.g., the number of urgent
+//! flags)").
+//!
+//! The same extractor is used to build the training set and to drive the
+//! data plane, which is how Taurus "achieves the same F1 score as the
+//! model in isolation" — training and inference see identical features.
+
+use serde::{Deserialize, Serialize};
+
+/// A register array: the PISA stateful primitive (bounded memory, indexed
+/// by a hash — collisions are a modeled artifact, as in real switches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterArray {
+    name: String,
+    data: Vec<i64>,
+}
+
+impl RegisterArray {
+    /// Creates a zeroed array of `size` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(name: impl Into<String>, size: usize) -> Self {
+        assert!(size > 0, "register array needs at least one cell");
+        Self { name: name.into(), data: vec![0; size] }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn idx(&self, key: u64) -> usize {
+        (key % self.data.len() as u64) as usize
+    }
+
+    /// Reads the cell for a key.
+    pub fn read(&self, key: u64) -> i64 {
+        self.data[self.idx(key)]
+    }
+
+    /// Writes the cell for a key.
+    pub fn write(&mut self, key: u64, v: i64) {
+        let i = self.idx(key);
+        self.data[i] = v;
+    }
+
+    /// Adds to the cell for a key, returning the new value.
+    pub fn add(&mut self, key: u64, v: i64) -> i64 {
+        let i = self.idx(key);
+        self.data[i] = self.data[i].wrapping_add(v);
+        self.data[i]
+    }
+
+    /// Resets every cell to zero.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+/// Cumulative features for one flow at one packet, in raw (pre-encoding)
+/// units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowFeatures {
+    /// Time since the flow's first packet, ns.
+    pub duration_ns: u64,
+    /// Originator→responder bytes so far.
+    pub fwd_bytes: u64,
+    /// Responder→originator bytes so far.
+    pub rev_bytes: u64,
+    /// Packets so far (both directions).
+    pub packets: u64,
+    /// URG-flagged packets so far.
+    pub urgent: u64,
+    /// Bare-SYN packets so far (no ACK — the S0/SYN-flood signature).
+    pub syn_only: u64,
+    /// Flows to the same destination host in the sliding window.
+    pub dst_count: u64,
+    /// Flows to the same destination service in the sliding window.
+    pub srv_count: u64,
+    /// IP protocol.
+    pub proto: u8,
+}
+
+impl FlowFeatures {
+    /// Encodes the 6-feature DNN view (the stream analogue of the
+    /// `taurus-dataset` `Dnn6` view): log-compressed heavy-tailed fields
+    /// plus the protocol likelihood (§3.1 preprocessing).
+    pub fn encode_dnn6(&self) -> [f32; 6] {
+        [
+            (self.duration_ns as f32 / 1e6).ln_1p(), // ms scale
+            proto_likelihood(self.proto),
+            (self.fwd_bytes as f32).ln_1p(),
+            (self.rev_bytes as f32).ln_1p(),
+            (self.dst_count as f32).ln_1p(),
+            (self.srv_count as f32).ln_1p(),
+        ]
+    }
+
+    /// Encodes the 8-feature SVM view: the DNN view plus a SYN-error
+    /// proxy (bare-SYN fraction) and the urgent count.
+    pub fn encode_svm8(&self) -> [f32; 8] {
+        let d = self.encode_dnn6();
+        let syn_rate = if self.packets == 0 {
+            0.0
+        } else {
+            self.syn_only as f32 / self.packets as f32
+        };
+        [d[0], d[1], d[2], d[3], d[4], d[5], syn_rate, (self.urgent as f32).ln_1p()]
+    }
+}
+
+/// The §3.1 protocol→likelihood lookup (mirrors
+/// `taurus_dataset::kdd::Protocol::likelihood`).
+pub fn proto_likelihood(proto: u8) -> f32 {
+    match proto {
+        6 => 0.45,
+        17 => 0.20,
+        1 => 0.80,
+        _ => 0.55,
+    }
+}
+
+/// Sliding-window counter bank: the classic two-epoch approximation
+/// switches use (current + previous epoch counts bound the true windowed
+/// count within 2×).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WindowCounters {
+    current: RegisterArray,
+    previous: RegisterArray,
+    epoch_start_ns: u64,
+    window_ns: u64,
+}
+
+impl WindowCounters {
+    fn new(name: &str, size: usize, window_ns: u64) -> Self {
+        Self {
+            current: RegisterArray::new(format!("{name}.cur"), size),
+            previous: RegisterArray::new(format!("{name}.prev"), size),
+            epoch_start_ns: 0,
+            window_ns,
+        }
+    }
+
+    fn rotate_if_needed(&mut self, now_ns: u64) {
+        let elapsed = now_ns.saturating_sub(self.epoch_start_ns);
+        if elapsed >= 2 * self.window_ns {
+            // More than two epochs idle: everything is stale.
+            self.current.clear();
+            self.previous.clear();
+            self.epoch_start_ns = now_ns;
+        } else if elapsed >= self.window_ns {
+            std::mem::swap(&mut self.current, &mut self.previous);
+            self.current.clear();
+            self.epoch_start_ns = now_ns;
+        }
+    }
+
+    fn observe(&mut self, key: u64, now_ns: u64) -> u64 {
+        self.rotate_if_needed(now_ns);
+        let cur = self.current.add(key, 1);
+        (cur + self.previous.read(key)).max(0) as u64
+    }
+}
+
+/// Per-flow and cross-flow feature state for the data plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowTracker {
+    pkt_count: RegisterArray,
+    fwd_bytes: RegisterArray,
+    rev_bytes: RegisterArray,
+    urg_count: RegisterArray,
+    syn_count: RegisterArray,
+    first_ts: RegisterArray,
+    dst_window: WindowCounters,
+    srv_window: WindowCounters,
+}
+
+/// One packet's worth of observation input to [`FlowTracker::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketObs {
+    /// Direction-independent flow key (canonical five-tuple hash).
+    pub flow_key: u64,
+    /// Destination-host key (responder IP hash).
+    pub dst_key: u64,
+    /// Destination-service key (responder IP + port hash).
+    pub srv_key: u64,
+    /// Whether this packet travels responder → originator.
+    pub reverse: bool,
+    /// Whether this is the flow's first packet (SYN direction).
+    pub is_flow_start: bool,
+    /// Wire bytes.
+    pub len: u16,
+    /// TCP flags.
+    pub tcp_flags: u8,
+    /// IP protocol.
+    pub proto: u8,
+    /// Arrival time, ns.
+    pub ts_ns: u64,
+}
+
+impl FlowTracker {
+    /// Creates a tracker with `slots` register cells per array and the
+    /// given cross-flow window.
+    pub fn new(slots: usize, window_ns: u64) -> Self {
+        Self {
+            pkt_count: RegisterArray::new("pkt_count", slots),
+            fwd_bytes: RegisterArray::new("fwd_bytes", slots),
+            rev_bytes: RegisterArray::new("rev_bytes", slots),
+            urg_count: RegisterArray::new("urg_count", slots),
+            syn_count: RegisterArray::new("syn_count", slots),
+            first_ts: RegisterArray::new("first_ts", slots),
+            dst_window: WindowCounters::new("dst", slots, window_ns),
+            srv_window: WindowCounters::new("srv", slots, window_ns),
+        }
+    }
+
+    /// Observes one packet, updating all registers, and returns the
+    /// flow's cumulative features as of this packet.
+    pub fn observe(&mut self, obs: &PacketObs) -> FlowFeatures {
+        let k = obs.flow_key;
+        let packets = self.pkt_count.add(k, 1) as u64;
+        let (fwd, rev) = if obs.reverse {
+            (self.fwd_bytes.read(k), self.rev_bytes.add(k, i64::from(obs.len)))
+        } else {
+            (self.fwd_bytes.add(k, i64::from(obs.len)), self.rev_bytes.read(k))
+        };
+        let urg = if obs.tcp_flags & 0x20 != 0 {
+            self.urg_count.add(k, 1)
+        } else {
+            self.urg_count.read(k)
+        };
+        let bare_syn = obs.tcp_flags & 0x02 != 0 && obs.tcp_flags & 0x10 == 0;
+        let syn = if bare_syn { self.syn_count.add(k, 1) } else { self.syn_count.read(k) };
+        if self.first_ts.read(k) == 0 {
+            // ts 0 is "unset"; first packet stamps ts+1 to disambiguate.
+            self.first_ts.write(k, obs.ts_ns as i64 + 1);
+        }
+        let first = (self.first_ts.read(k) - 1).max(0) as u64;
+
+        // Cross-flow windows count *flow starts*, not packets.
+        let (dst_count, srv_count) = if obs.is_flow_start {
+            (
+                self.dst_window.observe(obs.dst_key, obs.ts_ns),
+                self.srv_window.observe(obs.srv_key, obs.ts_ns),
+            )
+        } else {
+            (
+                (self.dst_window.current.read(obs.dst_key)
+                    + self.dst_window.previous.read(obs.dst_key))
+                .max(0) as u64,
+                (self.srv_window.current.read(obs.srv_key)
+                    + self.srv_window.previous.read(obs.srv_key))
+                .max(0) as u64,
+            )
+        };
+
+        FlowFeatures {
+            duration_ns: obs.ts_ns.saturating_sub(first),
+            fwd_bytes: fwd.max(0) as u64,
+            rev_bytes: rev.max(0) as u64,
+            packets,
+            urgent: urg.max(0) as u64,
+            syn_only: syn.max(0) as u64,
+            dst_count,
+            srv_count,
+            proto: obs.proto,
+        }
+    }
+
+    /// Clears all state (e.g., between experiment runs).
+    pub fn clear(&mut self) {
+        self.pkt_count.clear();
+        self.fwd_bytes.clear();
+        self.rev_bytes.clear();
+        self.urg_count.clear();
+        self.syn_count.clear();
+        self.first_ts.clear();
+        self.dst_window.current.clear();
+        self.dst_window.previous.clear();
+        self.srv_window.current.clear();
+        self.srv_window.previous.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(flow: u64, ts: u64, len: u16, flags: u8, start: bool, reverse: bool) -> PacketObs {
+        PacketObs {
+            flow_key: flow,
+            dst_key: flow % 7,
+            srv_key: flow % 13,
+            reverse,
+            is_flow_start: start,
+            len,
+            tcp_flags: flags,
+            proto: 6,
+            ts_ns: ts,
+        }
+    }
+
+    #[test]
+    fn register_array_ops() {
+        let mut r = RegisterArray::new("t", 8);
+        assert_eq!(r.read(3), 0);
+        assert_eq!(r.add(3, 5), 5);
+        r.write(3, 100);
+        assert_eq!(r.read(3), 100);
+        assert_eq!(r.read(11), 100, "hash wraps modulo size");
+        r.clear();
+        assert_eq!(r.read(3), 0);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn flow_accumulation() {
+        let mut t = FlowTracker::new(64, 1_000_000);
+        let f1 = t.observe(&obs(1, 1_000, 100, 0x02, true, false));
+        assert_eq!(f1.packets, 1);
+        assert_eq!(f1.fwd_bytes, 100);
+        assert_eq!(f1.syn_only, 1, "bare SYN counted");
+        assert_eq!(f1.duration_ns, 0);
+
+        let f2 = t.observe(&obs(1, 5_000, 200, 0x30, false, true));
+        assert_eq!(f2.packets, 2);
+        assert_eq!(f2.fwd_bytes, 100);
+        assert_eq!(f2.rev_bytes, 200);
+        assert_eq!(f2.urgent, 1, "URG counted");
+        assert_eq!(f2.duration_ns, 4_000);
+    }
+
+    #[test]
+    fn cross_flow_window_counts_flow_starts() {
+        let mut t = FlowTracker::new(64, 1_000_000);
+        // Three flows to the same dst key within one window.
+        for flow in [7u64, 14, 21] {
+            let f = t.observe(&obs(flow, 10_000, 60, 0x02, true, false));
+            let _ = f;
+        }
+        let f = t.observe(&obs(28, 20_000, 60, 0x02, true, false));
+        assert_eq!(f.dst_count, 4, "all four flow starts hit dst key 0");
+    }
+
+    #[test]
+    fn window_rotation_forgets_old_epochs() {
+        let mut t = FlowTracker::new(64, 1_000);
+        for k in 0..5u64 {
+            t.observe(&obs(k * 7, 100, 60, 0x02, true, false));
+        }
+        // Two full windows later the old counts have aged out.
+        let f = t.observe(&obs(35, 3_500, 60, 0x02, true, false));
+        assert!(f.dst_count <= 2, "old epoch forgotten, got {}", f.dst_count);
+    }
+
+    #[test]
+    fn encodings_have_expected_widths_and_are_finite() {
+        let mut t = FlowTracker::new(16, 1_000_000);
+        let f = t.observe(&obs(1, 999, 1500, 0x22, true, false));
+        let d = f.encode_dnn6();
+        let s = f.encode_svm8();
+        assert_eq!(d.len(), 6);
+        assert_eq!(s.len(), 8);
+        assert!(d.iter().chain(s.iter()).all(|v| v.is_finite()));
+        assert_eq!(proto_likelihood(6), 0.45);
+        assert_eq!(proto_likelihood(99), 0.55);
+    }
+}

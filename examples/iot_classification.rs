@@ -1,0 +1,69 @@
+//! The IoT traffic-classification application (Table 5's `IoT KMeans`):
+//! cluster 11 device-traffic features into five categories, quantize,
+//! compile to the MapReduce grid, and verify the hardware path agrees
+//! with the golden model.
+//!
+//! Run with: `cargo run --release --example iot_classification`
+
+use taurus_cgra::CgraSim;
+use taurus_compiler::{compile, frontend, CompileOptions, GridConfig};
+use taurus_dataset::IotGenerator;
+use taurus_ml::{KMeans, QuantizedKMeans};
+
+fn main() {
+    // 1. Synthesize device traffic and fit one centroid per category.
+    let mut gen = IotGenerator::new(5);
+    let ds = gen.multiclass_dataset(4_000);
+    let (train, test) = ds.split(0.8);
+    let km = KMeans::fit_supervised(train.features(), train.labels(), 5);
+    println!(
+        "float KMeans accuracy: {:.1}% over 5 device categories",
+        km.accuracy(test.features(), test.labels()) * 100.0
+    );
+
+    // 2. Quantize to int8 and lower to MapReduce IR: per-centroid squared
+    //    distance (map subtract/square, reduce add) then an arg-min.
+    let qkm = QuantizedKMeans::quantize(&km, train.features());
+    println!(
+        "quantized accuracy:    {:.1}%",
+        qkm.accuracy(test.features(), test.labels()) * 100.0
+    );
+    let graph = frontend::kmeans_to_graph(&qkm);
+    let program = compile(&graph, &GridConfig::default(), &CompileOptions::default())
+        .expect("kmeans fits");
+    println!(
+        "compiled: {} CUs, {} MUs, {:.0} ns (paper: 61 ns), line rate 1/{}",
+        program.resources.cus,
+        program.resources.mus,
+        program.timing.latency_ns,
+        program.timing.initiation_interval
+    );
+
+    // 3. The switch path must agree with the golden model on every input.
+    let mut sim = CgraSim::new(&program);
+    let mut agree = 0usize;
+    let n = test.len().min(500);
+    for (x, _) in test.iter().take(n) {
+        let codes = qkm.quantize_input(x);
+        let lanes: Vec<i32> = codes.iter().map(|&c| i32::from(c)).collect();
+        let hw = sim.process(&lanes).outputs[0][0] as usize;
+        if hw == qkm.predict_codes(&codes) {
+            agree += 1;
+        }
+    }
+    println!("hardware vs golden model agreement: {agree}/{n} (must be {n}/{n})");
+    assert_eq!(agree, n);
+
+    // 4. Per-category breakdown on the hardware path.
+    let names = ["Camera", "Plug", "Hub", "Sensor", "NonIoT"];
+    let mut confusion = taurus_ml::ConfusionMatrix::new(5);
+    for (x, y) in test.iter() {
+        confusion.record(y, qkm.predict(x));
+    }
+    println!("\nper-category recall:");
+    for (c, name) in names.iter().enumerate() {
+        let total: u64 = (0..5).map(|p| confusion.get(c, p)).sum();
+        let hit = confusion.get(c, c);
+        println!("  {name:>7}: {:.1}%", hit as f64 / total.max(1) as f64 * 100.0);
+    }
+}

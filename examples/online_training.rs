@@ -1,0 +1,58 @@
+//! Online training (§5.2.3): the control plane streams sampled telemetry
+//! into SGD and pushes weight updates to the data plane; the deployed
+//! model's F1 improves over milliseconds-to-seconds depending on the
+//! sampling rate (Figs. 13 and 14).
+//!
+//! Run with: `cargo run --release --example online_training`
+
+use taurus_controlplane::training::{final_f1, run_online_training, time_to_f1, TrainingRunConfig};
+use taurus_core::e2e::{build_detector_from_trace, extract_stream_features};
+use taurus_dataset::kdd::KddGenerator;
+use taurus_dataset::trace::{PacketTrace, TraceConfig};
+use taurus_ml::mlp::MlpConfig;
+use taurus_ml::Mlp;
+
+fn main() {
+    // Feature pools from a trace, standardized like the deployed model's.
+    let detector = build_detector_from_trace(21, 1_200);
+    let records = KddGenerator::new(22).take(1_200);
+    let trace = PacketTrace::expand(records, &TraceConfig { seed: 22, ..Default::default() });
+    let samples = extract_stream_features(&trace);
+    let xs: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|s| {
+            let mut row = s.features.clone();
+            detector.standardizer.apply_row(&mut row);
+            row
+        })
+        .collect();
+    let ys: Vec<usize> = samples.iter().map(|s| usize::from(s.anomalous)).collect();
+    let half = xs.len() / 2;
+    let (pool_x, eval_x) = xs.split_at(half);
+    let (pool_y, eval_y) = ys.split_at(half);
+
+    println!("online training from a fresh (untrained) model:\n");
+    for rate in [1e-4, 1e-3, 1e-2] {
+        let mut model = Mlp::new(&MlpConfig::anomaly_dnn(), 3);
+        let curve = run_online_training(
+            &mut model,
+            pool_x,
+            pool_y,
+            eval_x,
+            eval_y,
+            &TrainingRunConfig { sampling_rate: rate, rounds: 25, ..Default::default() },
+        );
+        let reach = time_to_f1(&curve, 55.0)
+            .map(|t| format!("{t:.2} s"))
+            .unwrap_or_else(|| "not reached".into());
+        println!(
+            "  sampling {rate:>5.0e}: F1 reaches 55 after {reach:>12}, final F1 {:.1}",
+            final_f1(&curve)
+        );
+    }
+    println!(
+        "\nThe Fig. 13 shape: each 10× increase in sampling rate shrinks convergence\n\
+         time ~10× — training happens off the critical path while the data plane\n\
+         keeps deciding per-packet with the last installed weights."
+    );
+}

@@ -1,0 +1,38 @@
+//! # taurus
+//!
+//! Facade crate for the Rust reproduction of *Taurus: A Data Plane
+//! Architecture for Per-Packet ML* (ASPLOS 2022). Re-exports every
+//! workspace crate under one roof so examples and downstream users can
+//! depend on a single name.
+//!
+//! See the repository `README.md` for the architecture overview,
+//! `DESIGN.md` for the system inventory and experiment index, and
+//! `EXPERIMENTS.md` for measured-vs-paper results.
+//!
+//! ```
+//! use taurus::compiler::{compile, CompileOptions, GridConfig};
+//! use taurus::ir::GraphBuilder;
+//!
+//! // A 16-input perceptron at line rate in one CU (the paper's Fig. 3).
+//! let mut b = GraphBuilder::new();
+//! let x = b.input(16);
+//! let w = b.weights("w", 1, 16, vec![1i8; 16]);
+//! let dot = b.map_reduce_rows(w, x, 0);
+//! b.output(dot);
+//! let graph = b.finish().expect("valid");
+//! let p = compile(&graph, &GridConfig::default(), &CompileOptions::default())
+//!     .expect("fits");
+//! assert_eq!(p.timing.latency_ns, 23.0); // Table 6's inner product
+//! ```
+
+pub use taurus_cgra as cgra;
+pub use taurus_compiler as compiler;
+pub use taurus_controlplane as controlplane;
+pub use taurus_core as core;
+pub use taurus_dataset as dataset;
+pub use taurus_events as events;
+pub use taurus_fixed as fixed;
+pub use taurus_hw_model as hw_model;
+pub use taurus_ir as ir;
+pub use taurus_ml as ml;
+pub use taurus_pisa as pisa;
