@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use taurus_cgra::CgraSim;
 use taurus_compiler::{compile, CompileOptions, GridConfig};
-use taurus_core::apps::AnomalyDetector;
-use taurus_core::TaurusSwitch;
+use taurus_core::apps::{AnomalyDetector, SynFloodDetector};
+use taurus_core::{SwitchBuilder, TaurusSwitch};
 use taurus_dataset::kdd::KddGenerator;
 use taurus_dataset::trace::{PacketTrace, TraceConfig};
 use taurus_fixed::q::Q8;
@@ -30,9 +30,7 @@ fn bench_fixed_point(c: &mut Criterion) {
         })
     });
     let rq = Requantizer::from_real_multiplier(0.0123, 3);
-    c.bench_function("fixed/requantize", |b| {
-        b.iter(|| black_box(rq.apply(black_box(123_456))))
-    });
+    c.bench_function("fixed/requantize", |b| b.iter(|| black_box(rq.apply(black_box(123_456)))));
 }
 
 fn bench_inference(c: &mut Criterion) {
@@ -61,14 +59,10 @@ fn bench_cgra(c: &mut Criterion) {
     });
 
     let detector = AnomalyDetector::train_default(2, 1_000);
-    let codes: Vec<i32> = detector
-        .quantized
-        .quantize_input(&[0.0; 6])
-        .into_iter()
-        .map(i32::from)
-        .collect();
+    let codes: Vec<i32> =
+        detector.quantized.quantize_input(&[0.0; 6]).into_iter().map(i32::from).collect();
     c.bench_function("cgra/anomaly_dnn_packet", |b| {
-        let mut sim = CgraSim::new(&detector.program);
+        let mut sim = CgraSim::shared(std::sync::Arc::clone(&detector.program));
         b.iter(|| black_box(sim.process(black_box(&codes))))
     });
 }
@@ -93,13 +87,18 @@ fn bench_pipeline(c: &mut Criterion) {
             black_box(switch.process_trace_packet(black_box(tp)))
         })
     });
+
+    let syn_flood = SynFloodDetector::default_deployment();
+    c.bench_function("core/multi_app_switch_per_packet", |b| {
+        let mut switch = SwitchBuilder::new().register(&detector).register(&syn_flood).build();
+        let mut i = 0usize;
+        b.iter(|| {
+            let tp = &trace.packets[i % trace.packets.len()];
+            i += 1;
+            black_box(switch.process_trace_packet(black_box(tp)))
+        })
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_fixed_point,
-    bench_inference,
-    bench_cgra,
-    bench_pipeline
-);
+criterion_group!(benches, bench_fixed_point, bench_inference, bench_cgra, bench_pipeline);
 criterion_main!(benches);

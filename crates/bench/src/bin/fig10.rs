@@ -7,15 +7,7 @@ use taurus_hw_model::{cu_area_mm2, mu_area_mm2, CuGeometry, Precision};
 use taurus_ir::microbench;
 
 fn main() {
-    let acts = [
-        "ReLU",
-        "LeakyReLU",
-        "TanhExp",
-        "SigmoidExp",
-        "TanhPW",
-        "SigmoidPW",
-        "ActLUT",
-    ];
+    let acts = ["ReLU", "LeakyReLU", "TanhExp", "SigmoidExp", "TanhPW", "SigmoidPW", "ActLUT"];
     let stage_counts = [2usize, 3, 4, 6];
 
     let mut rows = Vec::new();
@@ -28,8 +20,7 @@ fn main() {
                 Ok(p) => {
                     let geom = CuGeometry { lanes: grid.lanes, stages };
                     let area = p.resources.cus as f64 * cu_area_mm2(geom, Precision::Fix8)
-                        + p.resources.mus as f64
-                            * mu_area_mm2(grid.mu_banks, grid.mu_bank_entries);
+                        + p.resources.mus as f64 * mu_area_mm2(grid.mu_banks, grid.mu_bank_entries);
                     row.push(f(area, 3));
                 }
                 Err(_) => row.push("n/a".into()),

@@ -14,21 +14,13 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Accelerator::ALL
         .iter()
         .map(|a| {
-            vec![
-                a.name().to_string(),
-                f(a.latency_ms(), 2),
-                "paper (calibrated constant)".into(),
-            ]
+            vec![a.name().to_string(), f(a.latency_ms(), 2), "paper (calibrated constant)".into()]
         })
         .collect();
 
     let mlp = Mlp::new(&MlpConfig::anomaly_dnn(), 0);
     let host_ms = measure_host_unbatched(&mlp, &[0.3; 6], 10_000);
-    rows.push(vec![
-        "This host (bare Rust fwd)".into(),
-        f(host_ms, 4),
-        "measured live".into(),
-    ]);
+    rows.push(vec!["This host (bare Rust fwd)".into(), f(host_ms, 4), "measured live".into()]);
 
     print_table(
         "Table 2: inference time for control-plane accelerators (batch = 1)",

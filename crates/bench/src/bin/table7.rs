@@ -20,12 +20,8 @@ fn main() {
     let mut rows = Vec::new();
     let conv = microbench::conv1d();
     for &(unroll, paper_rate, paper_mm2) in paper_conv {
-        let p = compile(
-            &conv,
-            &grid,
-            &CompileOptions { unroll: Some(unroll), max_cus: None },
-        )
-        .expect("fits");
+        let p = compile(&conv, &grid, &CompileOptions { unroll: Some(unroll), max_cus: None })
+            .expect("fits");
         let rate = p.timing.line_rate_fraction;
         rows.push(vec![
             "Conv1D".into(),
@@ -37,12 +33,8 @@ fn main() {
         ]);
         let _ = rate;
     }
-    let ip = compile(
-        &microbench::inner_product(),
-        &grid,
-        &CompileOptions::default(),
-    )
-    .expect("fits");
+    let ip =
+        compile(&microbench::inner_product(), &grid, &CompileOptions::default()).expect("fits");
     rows.push(vec![
         "Inner Product".into(),
         "-".into(),

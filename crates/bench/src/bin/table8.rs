@@ -52,8 +52,18 @@ fn main() {
     print_table(
         "Table 8: baseline batches/latency and detection vs Taurus (paper values in parens)",
         &[
-            "Sampling", "XDP", "Rem.", "XDP ms", "DB ms", "ML ms", "Inst ms", "All ms",
-            "Base det%", "Taurus det%", "Base F1", "Taurus F1",
+            "Sampling",
+            "XDP",
+            "Rem.",
+            "XDP ms",
+            "DB ms",
+            "ML ms",
+            "Inst ms",
+            "All ms",
+            "Base det%",
+            "Taurus det%",
+            "Base F1",
+            "Taurus F1",
         ],
         &rows,
     );

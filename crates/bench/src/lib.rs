@@ -81,7 +81,7 @@ pub fn table5_models() -> Vec<(&'static str, f64, f64, GridProgram)> {
 
     // Anomaly DNN: the paper's 6 → 12 → 6 → 3 → 1 network.
     let detector = taurus_core::apps::AnomalyDetector::train_default(52, 3_000);
-    let dnn_prog = detector.program.clone();
+    let dnn_prog = detector.program.as_ref().clone();
 
     // Indigo LSTM: 32 units, softmax head, capped at ~60 CUs (the
     // paper's area budget) via time-multiplexing. The paper does not
@@ -89,12 +89,9 @@ pub fn table5_models() -> Vec<(&'static str, f64, f64, GridProgram)> {
     // serialized recurrence to the published 805 ns decision latency.
     let lstm = Lstm::new(&LstmConfig::indigo(), 53);
     let lstm_graph = frontend::lstm_to_graph(&lstm, 3, 4.0);
-    let lstm_prog = compile(
-        &lstm_graph,
-        &grid,
-        &CompileOptions { unroll: None, max_cus: Some(60) },
-    )
-    .expect("lstm fits");
+    let lstm_prog =
+        compile(&lstm_graph, &grid, &CompileOptions { unroll: None, max_cus: Some(60) })
+            .expect("lstm fits");
 
     vec![
         ("IoT KMeans", 61.0, 0.3, km_prog),

@@ -22,12 +22,17 @@
 //! [`TimingReport`]: taurus_compiler::TimingReport
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use taurus_compiler::timing::edge_cost;
 use taurus_compiler::vu::{RowWork, VuKind};
 use taurus_compiler::GridProgram;
 use taurus_ir::graph::Operand;
 use taurus_ir::{eval_map, eval_reduce, matvec_row, sqdist_row, NodeId, Op};
+
+/// Per-node lane buffers built up while a step fires (DotCu groups fill
+/// lanes incrementally).
+type Lanes = HashMap<NodeId, Vec<Option<i32>>>;
 
 /// Result of processing one packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,11 +60,12 @@ pub struct StreamStats {
     pub throughput_ppc: f64,
 }
 
-/// The simulator: owns persistent state and streams packets through a
-/// compiled program.
+/// The simulator: owns persistent state, shares the compiled program
+/// (`Arc`, so many simulators/switches can run one compilation without
+/// borrow lifetimes), and streams packets through it.
 #[derive(Debug, Clone)]
-pub struct CgraSim<'p> {
-    program: &'p GridProgram,
+pub struct CgraSim {
+    program: Arc<GridProgram>,
     /// Persistent state vectors (survive across packets, like MU-resident
     /// LSTM state).
     state: Vec<Vec<i32>>,
@@ -67,13 +73,25 @@ pub struct CgraSim<'p> {
     order: Vec<usize>,
 }
 
-impl<'p> CgraSim<'p> {
-    /// Creates a simulator with zero-initialized state.
-    pub fn new(program: &'p GridProgram) -> Self {
+impl CgraSim {
+    /// Creates a simulator with zero-initialized state from a borrowed
+    /// program (cloned into shared ownership; use [`CgraSim::shared`] to
+    /// avoid the copy when an `Arc` is already at hand).
+    pub fn new(program: &GridProgram) -> Self {
+        Self::shared(Arc::new(program.clone()))
+    }
+
+    /// Creates a simulator sharing an already-compiled program.
+    pub fn shared(program: Arc<GridProgram>) -> Self {
         let state = program.graph.states().iter().map(|s| vec![0i32; s.width]).collect();
         let mut order: Vec<usize> = (0..program.units.len()).collect();
         order.sort_by_key(|&i| (program.placement.levels[i], i));
         Self { program, state, order }
+    }
+
+    /// The compiled program this simulator executes.
+    pub fn program(&self) -> &Arc<GridProgram> {
+        &self.program
     }
 
     /// Current persistent state (for tests).
@@ -125,16 +143,16 @@ impl<'p> CgraSim<'p> {
     /// One recurrence step: event-driven firing in dependency order,
     /// returning outputs and the step's ingress-to-egress latency.
     fn run_step(&mut self, input: &[i32]) -> (Vec<Vec<i32>>, u32) {
-        let program = self.program;
+        let program = Arc::clone(&self.program);
         let graph = &program.graph;
         let units = &program.units;
 
         // Per-node lane buffers (DotCu groups fill lanes incrementally).
-        let mut lanes: HashMap<NodeId, Vec<Option<i32>>> = HashMap::new();
+        let mut lanes: Lanes = HashMap::new();
         let mut pending_state: Vec<(usize, Vec<i32>)> = Vec::new();
         let mut complete = vec![0u32; units.len()];
 
-        let full = |lanes: &HashMap<NodeId, Vec<Option<i32>>>, id: NodeId| -> Vec<i32> {
+        let full = |lanes: &Lanes, id: NodeId| -> Vec<i32> {
             lanes
                 .get(&id)
                 .unwrap_or_else(|| panic!("node {id:?} not yet produced"))
@@ -147,11 +165,8 @@ impl<'p> CgraSim<'p> {
             let vu = &units[i];
             // Arrival time: producers' completion plus network cost —
             // identical cost model to the compiler's static analysis.
-            let fanin = vu
-                .deps
-                .iter()
-                .filter(|d| units[d.0 as usize].kind != VuKind::WeightMu)
-                .count();
+            let fanin =
+                vu.deps.iter().filter(|d| units[d.0 as usize].kind != VuKind::WeightMu).count();
             let arrive = vu
                 .deps
                 .iter()
@@ -159,8 +174,7 @@ impl<'p> CgraSim<'p> {
                     let di = d.0 as usize;
                     let src = &units[di];
                     let dist = program.placement.distance(di, i);
-                    complete[di]
-                        + edge_cost(src, fanin, dist, src.kind == VuKind::Interface)
+                    complete[di] + edge_cost(src, fanin, dist, src.kind == VuKind::Interface)
                 })
                 .max()
                 .unwrap_or(0);
@@ -180,8 +194,7 @@ impl<'p> CgraSim<'p> {
                 }
                 VuKind::Wire | VuKind::Cu | VuKind::LutCu | VuKind::StateMu => {
                     for &nid in &vu.nodes {
-                        let value =
-                            self.eval_node(nid, &lanes, &full, &mut pending_state);
+                        let value = self.eval_node(nid, &lanes, &full, &mut pending_state);
                         lanes.insert(nid, value.into_iter().map(Some).collect());
                     }
                 }
@@ -193,8 +206,7 @@ impl<'p> CgraSim<'p> {
         let mut latency = 0u32;
         for (i, vu) in units.iter().enumerate() {
             if vu.produces.iter().any(|(n, _)| out_nodes.contains(n)) {
-                latency =
-                    latency.max(complete[i] + taurus_compiler::timing::INTERFACE_BASE + 2);
+                latency = latency.max(complete[i] + taurus_compiler::timing::INTERFACE_BASE + 2);
             }
         }
 
@@ -207,12 +219,7 @@ impl<'p> CgraSim<'p> {
         (outputs, latency)
     }
 
-    fn fire_dot(
-        &self,
-        rw: &RowWork,
-        lanes: &mut HashMap<NodeId, Vec<Option<i32>>>,
-        full: &dyn Fn(&HashMap<NodeId, Vec<Option<i32>>>, NodeId) -> Vec<i32>,
-    ) {
+    fn fire_dot(&self, rw: &RowWork, lanes: &mut Lanes, full: &dyn Fn(&Lanes, NodeId) -> Vec<i32>) {
         let graph = &self.program.graph;
         let node = graph.node(rw.node);
         let (bank, input, zero_point, is_sqdist) = match node.op {
@@ -245,8 +252,8 @@ impl<'p> CgraSim<'p> {
     fn eval_node(
         &self,
         id: NodeId,
-        lanes: &HashMap<NodeId, Vec<Option<i32>>>,
-        full: &dyn Fn(&HashMap<NodeId, Vec<Option<i32>>>, NodeId) -> Vec<i32>,
+        lanes: &Lanes,
+        full: &dyn Fn(&Lanes, NodeId) -> Vec<i32>,
         pending_state: &mut Vec<(usize, Vec<i32>)>,
     ) -> Vec<i32> {
         let graph = &self.program.graph;
@@ -267,15 +274,12 @@ impl<'p> CgraSim<'p> {
             Op::MatVec { .. } | Op::SqDist { .. } => {
                 unreachable!("dot nodes handled by DotCu units")
             }
-            Op::AddBias { bias, input } => full(lanes, *input)
-                .iter()
-                .zip(bias)
-                .map(|(&v, &b)| v.wrapping_add(b))
-                .collect(),
-            Op::Requant { requant, input } => full(lanes, *input)
-                .iter()
-                .map(|&v| i32::from(requant.apply(v)))
-                .collect(),
+            Op::AddBias { bias, input } => {
+                full(lanes, *input).iter().zip(bias).map(|(&v, &b)| v.wrapping_add(b)).collect()
+            }
+            Op::Requant { requant, input } => {
+                full(lanes, *input).iter().map(|&v| i32::from(requant.apply(v))).collect()
+            }
             Op::Lut { lut, input } => {
                 let table = graph.lut(*lut);
                 full(lanes, *input)
@@ -287,9 +291,7 @@ impl<'p> CgraSim<'p> {
                 full(lanes, *input).iter().map(|&v| i32::from(v > 0)).collect()
             }
             Op::Concat { inputs } => inputs.iter().flat_map(|&n| full(lanes, n)).collect(),
-            Op::Slice { input, start, len } => {
-                full(lanes, *input)[*start..*start + *len].to_vec()
-            }
+            Op::Slice { input, start, len } => full(lanes, *input)[*start..*start + *len].to_vec(),
             Op::StateRead { state } => self.state[state.0 as usize].clone(),
             Op::StateWrite { state, input } => {
                 let v = full(lanes, *input);
@@ -363,10 +365,7 @@ mod tests {
             let mut sim = CgraSim::new(&p);
             let x = vec![1i32; g.input_width()];
             let r = sim.process(&x);
-            assert_eq!(
-                r.latency_cycles, p.timing.latency_cycles,
-                "{name}: event-driven vs static"
-            );
+            assert_eq!(r.latency_cycles, p.timing.latency_cycles, "{name}: event-driven vs static");
         }
     }
 

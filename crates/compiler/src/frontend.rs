@@ -10,9 +10,9 @@
 
 use taurus_fixed::quant::{QuantParams, Requantizer};
 use taurus_ir::{Graph, GraphBuilder, MapOp, NodeId, ReduceOp};
+use taurus_ml::conv::Conv1D;
 use taurus_ml::lstm::Lstm;
 use taurus_ml::quantized::{Lut256, QuantizedKMeans, QuantizedMlp, QuantizedSvm};
-use taurus_ml::conv::Conv1D;
 
 /// Lowers a quantized MLP. Output lanes are the final layer's activation
 /// codes (one per output unit) — identical to
@@ -203,8 +203,8 @@ pub fn lstm_to_graph(lstm: &Lstm, history: usize, range: f32) -> Graph {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use taurus_fixed::Activation;
     use rand::{Rng, SeedableRng};
+    use taurus_fixed::Activation;
     use taurus_ir::Interpreter;
     use taurus_ml::lstm::LstmConfig;
     use taurus_ml::mlp::{Mlp, MlpConfig, OutputHead, TrainParams};
@@ -282,7 +282,7 @@ mod tests {
         let g = conv1d_to_graph(&conv, 9);
         assert_eq!(g.outer_iters(), 8);
         let mut interp = Interpreter::new(&g);
-        let out = interp.run_flat(&vec![10; 9]);
+        let out = interp.run_flat(&[10; 9]);
         assert_eq!(out.len(), 8);
     }
 
@@ -293,7 +293,7 @@ mod tests {
         assert_eq!(g.sequence_steps(), 4);
         assert_eq!(g.states().len(), 2);
         let mut interp = Interpreter::new(&g);
-        let out = interp.run_flat(&vec![20, -10, 5, 0]);
+        let out = interp.run_flat(&[20, -10, 5, 0]);
         assert_eq!(out.len(), 1);
         assert!((0..3).contains(&(out[0] as usize)));
         // State persisted across the call.

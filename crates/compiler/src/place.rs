@@ -29,7 +29,7 @@ impl Placement {
     pub fn distance(&self, a: usize, b: usize) -> u32 {
         let (ar, ac) = self.positions[a];
         let (br, bc) = self.positions[b];
-        (ar.abs_diff(br) + ac.abs_diff(bc)) as u32
+        ar.abs_diff(br) + ac.abs_diff(bc)
     }
 
     /// Rightmost occupied column (for egress distance).
@@ -53,12 +53,8 @@ pub fn place(vus: &[Vu], grid: &GridConfig) -> Result<Placement, CompileError> {
     for _ in 0..vus.len() {
         let mut changed = false;
         for (i, vu) in vus.iter().enumerate() {
-            let lvl = vu
-                .deps
-                .iter()
-                .map(|d| levels[d.0 as usize].saturating_add(1))
-                .max()
-                .unwrap_or(0);
+            let lvl =
+                vu.deps.iter().map(|d| levels[d.0 as usize].saturating_add(1)).max().unwrap_or(0);
             if lvl > levels[i] {
                 levels[i] = lvl;
                 changed = true;
@@ -92,18 +88,15 @@ pub fn place(vus: &[Vu], grid: &GridConfig) -> Result<Placement, CompileError> {
     // total Manhattan distance to its already-placed producers (memory
     // units excluded — weights stream in place), keeping dataflow
     // neighbours physically adjacent on the static interconnect.
-    let dist = |a: Pos, b: Pos| -> u32 { (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u32 };
+    let dist = |a: Pos, b: Pos| -> u32 { a.0.abs_diff(b.0) + a.1.abs_diff(b.1) };
     let mut order: Vec<usize> = (0..vus.len()).collect();
     order.sort_by_key(|&i| (levels[i], i));
     for &i in &order {
         match vus[i].kind {
             VuKind::Interface => positions[i] = interface,
             VuKind::Wire => {
-                positions[i] = vus[i]
-                    .deps
-                    .first()
-                    .map(|d| positions[d.0 as usize])
-                    .unwrap_or(interface);
+                positions[i] =
+                    vus[i].deps.first().map(|d| positions[d.0 as usize]).unwrap_or(interface);
             }
             k if k.is_cu() => {
                 let anchors: Vec<Pos> = vus[i]
@@ -116,13 +109,9 @@ pub fn place(vus: &[Vu], grid: &GridConfig) -> Result<Placement, CompileError> {
                 let (best, _) = cu_cells
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, &c)| {
-                        anchors.iter().map(|&a| dist(a, c)).sum::<u32>()
-                    })
+                    .min_by_key(|(_, &c)| anchors.iter().map(|&a| dist(a, c)).sum::<u32>())
                     .ok_or_else(|| {
-                        CompileError::GridCapacity(
-                            "ran out of CU cells during placement".into(),
-                        )
+                        CompileError::GridCapacity("ran out of CU cells during placement".into())
                     })?;
                 positions[i] = cu_cells.swap_remove(best);
             }

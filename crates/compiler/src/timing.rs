@@ -76,10 +76,8 @@ fn vu_latency(graph: &Graph, vu: &Vu, grid: &GridConfig) -> u32 {
         VuKind::Cu => {
             // Reduce-bearing CUs pay the tree depth; map chains pay one
             // cycle per occupied stage.
-            let has_reduce = vu
-                .nodes
-                .iter()
-                .any(|&n| matches!(graph.node(n).op, Op::Reduce { .. }));
+            let has_reduce =
+                vu.nodes.iter().any(|&n| matches!(graph.node(n).op, Op::Reduce { .. }));
             if has_reduce {
                 let width = vu
                     .nodes
@@ -89,9 +87,7 @@ fn vu_latency(graph: &Graph, vu: &Vu, grid: &GridConfig) -> u32 {
                         _ => None,
                     })
                     .unwrap_or(grid.lanes);
-                1 + log2_ceil(width.min(grid.lanes).max(2))
-                    + width.div_ceil(grid.lanes) as u32
-                    - 1
+                1 + log2_ceil(width.min(grid.lanes).max(2)) + width.div_ceil(grid.lanes) as u32 - 1
             } else {
                 vu.stages_used.max(1) as u32
             }
@@ -159,8 +155,7 @@ pub fn timing_report(
                 let di = d.0 as usize;
                 let src = &vus[di];
                 let dist = placement.distance(di, i);
-                complete[di]
-                    + edge_cost(src, fanin, dist, src.kind == VuKind::Interface)
+                complete[di] + edge_cost(src, fanin, dist, src.kind == VuKind::Interface)
             })
             .max()
             .unwrap_or(0);
@@ -200,7 +195,6 @@ pub fn timing_report(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::config::CompileOptions;
     use crate::{compile, GridConfig};
     use taurus_ir::microbench;
@@ -268,8 +262,7 @@ mod tests {
     fn line_rate_models_have_ii_1() {
         for name in ["Inner Product", "ReLU", "TanhExp", "ActLUT"] {
             let g = microbench::by_name(name);
-            let p = compile(&g, &GridConfig::default(), &CompileOptions::default())
-                .expect("fits");
+            let p = compile(&g, &GridConfig::default(), &CompileOptions::default()).expect("fits");
             assert_eq!(p.timing.initiation_interval, 1, "{name}");
             assert_eq!(p.timing.line_rate_fraction, 1.0, "{name}");
         }

@@ -121,10 +121,7 @@ fn op_stage_cost(op: &Op) -> usize {
 }
 
 fn is_elementwise(op: &Op) -> bool {
-    matches!(
-        op,
-        Op::Map { .. } | Op::GreaterZero { .. } | Op::AddBias { .. } | Op::Requant { .. }
-    )
+    matches!(op, Op::Map { .. } | Op::GreaterZero { .. } | Op::AddBias { .. } | Op::Requant { .. })
 }
 
 struct Lowering<'g> {
@@ -231,8 +228,7 @@ impl<'g> Lowering<'g> {
             if p.kind != VuKind::Cu
                 || p.stages_used + op_stage_cost(&node.op) > self.grid.stages
                 || p.lanes_used != node.width
-                || self.graph.node(*p.nodes.last().expect("cu has nodes")).iter_tag
-                    != node.iter_tag
+                || self.graph.node(*p.nodes.last().expect("cu has nodes")).iter_tag != node.iter_tag
             {
                 continue;
             }
@@ -270,11 +266,8 @@ impl<'g> Lowering<'g> {
         let operands = self.graph.operands(id);
         let width = node.width;
         let lanes = self.grid.lanes;
-        let splits = if is_elementwise(&node.op) && width > lanes {
-            width.div_ceil(lanes)
-        } else {
-            1
-        };
+        let splits =
+            if is_elementwise(&node.op) && width > lanes { width.div_ceil(lanes) } else { 1 };
         for s in 0..splits {
             let lane_lo = s * lanes;
             let lane_hi = ((s + 1) * lanes).min(width);
@@ -337,10 +330,7 @@ impl<'g> Lowering<'g> {
             }
             let next = (0..self.graph.nodes().len() as u32).map(NodeId).find(|&n| {
                 self.graph.operands(n).contains(&tail)
-                    && matches!(
-                        self.graph.node(n).op,
-                        Op::AddBias { .. } | Op::Requant { .. }
-                    )
+                    && matches!(self.graph.node(n).op, Op::AddBias { .. } | Op::Requant { .. })
                     && self.graph.node(n).iter_tag == node.iter_tag
             });
             match next {
@@ -360,10 +350,7 @@ impl<'g> Lowering<'g> {
         while r < rows {
             let hi = (r + rpc).min(rows);
             let assigned: Vec<usize> = (r..hi).collect();
-            let mut vu = Vu::new(
-                VuKind::DotCu,
-                format!("dot:n{}[r{}..{}]", id.0, r, hi),
-            );
+            let mut vu = Vu::new(VuKind::DotCu, format!("dot:n{}[r{}..{}]", id.0, r, hi));
             vu.row_work.push(RowWork { node: id, rows: assigned.clone(), fused: fused.clone() });
             vu.lanes_used = cols.min(self.grid.lanes);
             vu.stages_used = self.grid.stages.min(2 + fused.len() + 1);
@@ -382,9 +369,7 @@ impl<'g> Lowering<'g> {
 
     fn emit_lut(&mut self, id: NodeId) {
         let node = self.graph.node(id).clone();
-        let Op::Lut { lut, input } = node.op else {
-            unreachable!("emit_lut on non-lut node")
-        };
+        let Op::Lut { lut, input } = node.op else { unreachable!("emit_lut on non-lut node") };
         let width = node.width;
         let lanes = self.grid.lanes;
         let mu = self.lut_mu(lut.0);
@@ -556,6 +541,7 @@ fn merge_iterations(graph: &Graph, vus: Vec<Vu>, n_tags: usize, unroll: usize) -
     let body_len = counts[0];
     let mut merged_into: HashMap<usize, usize> = HashMap::new(); // old idx → canonical old idx
     for slot in 0..unroll {
+        #[allow(clippy::needless_range_loop)] // `j` indexes every tag's unit list in lockstep
         for j in 0..body_len {
             let members: Vec<usize> = (0..n_tags)
                 .filter(|t| t % unroll == slot)
@@ -665,12 +651,9 @@ mod tests {
     #[test]
     fn conv_unroll_1_time_multiplexes_to_one_cu() {
         let g = microbench::conv1d();
-        let vus = lower(
-            &g,
-            &GridConfig::default(),
-            &CompileOptions { unroll: Some(1), max_cus: None },
-        )
-        .expect("fits");
+        let vus =
+            lower(&g, &GridConfig::default(), &CompileOptions { unroll: Some(1), max_cus: None })
+                .expect("fits");
         let dots: Vec<&Vu> = vus.iter().filter(|v| v.kind == VuKind::DotCu).collect();
         assert_eq!(dots.len(), 1);
         assert_eq!(dots[0].ii, 8, "8 iterations share one CU");
@@ -679,12 +662,9 @@ mod tests {
     #[test]
     fn conv_unroll_2_has_two_dot_cus_ii_4() {
         let g = microbench::conv1d();
-        let vus = lower(
-            &g,
-            &GridConfig::default(),
-            &CompileOptions { unroll: Some(2), max_cus: None },
-        )
-        .expect("fits");
+        let vus =
+            lower(&g, &GridConfig::default(), &CompileOptions { unroll: Some(2), max_cus: None })
+                .expect("fits");
         let dots: Vec<&Vu> = vus.iter().filter(|v| v.kind == VuKind::DotCu).collect();
         assert_eq!(dots.len(), 2);
         assert!(dots.iter().all(|d| d.ii == 4));

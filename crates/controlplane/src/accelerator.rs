@@ -112,10 +112,7 @@ mod tests {
     fn cpu_is_fastest_control_plane_option() {
         // The paper's point: even the *fastest* control-plane option is
         // ~6 orders of magnitude slower than a 221 ns data-plane pass.
-        let fastest = Accelerator::ALL
-            .iter()
-            .map(|a| a.latency_ns())
-            .fold(f64::INFINITY, f64::min);
+        let fastest = Accelerator::ALL.iter().map(|a| a.latency_ns()).fold(f64::INFINITY, f64::min);
         assert!(fastest / 221.0 > 3_000.0);
     }
 }

@@ -137,17 +137,15 @@ pub fn run_baseline(
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Pre-draw which packets are sampled.
-    let sampled_idx: Vec<usize> = (0..packets.len())
-        .filter(|_| rng.gen_bool(config.sampling_rate))
-        .collect();
+    let sampled_idx: Vec<usize> =
+        (0..packets.len()).filter(|_| rng.gen_bool(config.sampling_rate)).collect();
 
     // Stage queues hold (packet index, sampled-at time).
     let mut q_xdp: Vec<(usize, SimTime)> = Vec::new();
     let mut q_db: Vec<(usize, SimTime)> = Vec::new();
     let mut q_ml: Vec<(usize, SimTime)> = Vec::new();
     let mut q_install: Vec<(u32, SimTime)> = Vec::new();
-    let (mut xdp_busy, mut db_busy, mut ml_busy, mut install_busy) =
-        (false, false, false, false);
+    let (mut xdp_busy, mut db_busy, mut ml_busy, mut install_busy) = (false, false, false, false);
     let mut in_xdp: Vec<(usize, SimTime)> = Vec::new();
     let mut in_db: Vec<(usize, SimTime)> = Vec::new();
     let mut in_ml: Vec<(usize, SimTime)> = Vec::new();
@@ -260,8 +258,7 @@ pub fn run_baseline(
                 install_busy = false;
                 if let Some((ip, t0)) = in_install.take() {
                     rules.insert(ip, events.now().as_nanos());
-                    all_latencies
-                        .push(events.now().saturating_sub(t0).as_millis_f64());
+                    all_latencies.push(events.now().saturating_sub(t0).as_millis_f64());
                 }
                 try_start_install!();
             }
@@ -301,8 +298,8 @@ pub fn run_baseline(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taurus_ml::mlp::{MlpConfig, OutputHead, TrainParams};
     use taurus_fixed::Activation;
+    use taurus_ml::mlp::{MlpConfig, OutputHead, TrainParams};
 
     /// A trace where anomalous packets have feature[0] = 1, benign 0, and
     /// each source IP sends 50 packets over 100 ms.
@@ -333,8 +330,7 @@ mod tests {
             head: OutputHead::Sigmoid,
         };
         let mut m = Mlp::new(&cfg, 1);
-        let x: Vec<Vec<f32>> =
-            (0..200).map(|i| vec![(i % 2) as f32, 0.5]).collect();
+        let x: Vec<Vec<f32>> = (0..200).map(|i| vec![(i % 2) as f32, 0.5]).collect();
         let y: Vec<usize> = (0..200).map(|i| i % 2).collect();
         m.train(&x, &y, &TrainParams { epochs: 40, ..TrainParams::default() });
         m

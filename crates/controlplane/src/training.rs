@@ -206,7 +206,9 @@ mod tests {
                 &ey,
                 &TrainingRunConfig { sampling_rate: rate, rounds: 25, ..Default::default() },
             );
-            time_to_f1(&curve, 85.0)
+            // Skip the pre-training point: a lucky random init can score
+            // above threshold at t≈0, which says nothing about Fig. 13.
+            time_to_f1(&curve[1..], 85.0)
         };
         let slow = run(1e-4);
         let fast = run(1e-2);

@@ -1,12 +1,20 @@
-//! In-network applications: the Table 1 registry and the §5.2.2
-//! anomaly-detection bundle.
+//! In-network applications: the Table 1 registry and the concrete
+//! [`TaurusApp`] implementations — the §5.2.2 anomaly-detection bundle
+//! and the SYN-flood detector (Table 1's "DoS" row).
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use taurus_compiler::{compile, frontend, CompileOptions, GridConfig, GridProgram};
 use taurus_dataset::kdd::{FeatureView, KddGenerator};
 use taurus_dataset::Standardizer;
+use taurus_ir::GraphBuilder;
 use taurus_ml::mlp::MlpConfig;
 use taurus_ml::{Mlp, QuantizedMlp, TrainParams};
+use taurus_pisa::mat::MatchTable;
+use taurus_pisa::pipeline::{anomaly_post_table, proto_select_table};
+
+use crate::app::{EngineBackend, FeatureFormatter, TaurusApp, VerdictPolicy};
 
 /// Reaction-time classes from Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -74,8 +82,8 @@ pub struct AnomalyDetector {
     pub quantized: QuantizedMlp,
     /// Standardizer fitted on the training features.
     pub standardizer: Standardizer,
-    /// The compiled MapReduce program.
-    pub program: GridProgram,
+    /// The compiled MapReduce program (shared: engines hold clones).
+    pub program: Arc<GridProgram>,
     /// Output code meaning "anomalous" (quantized 0.5 of the sigmoid).
     pub threshold_code: i64,
     /// Offline F1 (×100) on the held-out connection test set.
@@ -133,14 +141,13 @@ impl AnomalyDetector {
         );
         let quantized = QuantizedMlp::quantize(&model, &train_x);
         let graph = frontend::mlp_to_graph(&quantized);
-        let program = compile(&graph, &GridConfig::default(), &CompileOptions::default())
-            .expect("AD DNN fits the default grid");
+        let program = Arc::new(
+            compile(&graph, &GridConfig::default(), &CompileOptions::default())
+                .expect("AD DNN fits the default grid"),
+        );
         let threshold_code = i64::from(quantized.output_params().quantize(0.5));
         let offline_f1 = taurus_ml::BinaryMetrics::from_pairs(
-            test_x
-                .iter()
-                .zip(&test_y)
-                .map(|(x, &y)| (quantized.predict_class(x) == 1, y == 1)),
+            test_x.iter().zip(&test_y).map(|(x, &y)| (quantized.predict_class(x) == 1, y == 1)),
         )
         .f1_percent();
         Self { float_model: model, quantized, standardizer, program, threshold_code, offline_f1 }
@@ -148,11 +155,7 @@ impl AnomalyDetector {
 
     /// Encodes standardized features into the model's int8 input codes.
     pub fn encode(&self, standardized: &[f32]) -> Vec<i32> {
-        self.quantized
-            .quantize_input(standardized)
-            .into_iter()
-            .map(i32::from)
-            .collect()
+        self.quantized.quantize_input(standardized).into_iter().map(i32::from).collect()
     }
 
     /// Standardizes raw stream features then encodes them.
@@ -169,6 +172,147 @@ impl AnomalyDetector {
     }
 }
 
+impl TaurusApp for AnomalyDetector {
+    fn name(&self) -> &str {
+        "anomaly-detection"
+    }
+
+    fn reaction_time(&self) -> ReactionTime {
+        ReactionTime::PerPacket
+    }
+
+    fn feature_count(&self) -> usize {
+        6
+    }
+
+    fn program(&self) -> Option<Arc<GridProgram>> {
+        Some(Arc::clone(&self.program))
+    }
+
+    fn formatter(&self) -> FeatureFormatter {
+        let standardizer = self.standardizer.clone();
+        let params = self.quantized.input_params();
+        Box::new(move |f| {
+            let mut row = f.encode_dnn6().to_vec();
+            standardizer.apply_row(&mut row);
+            row.iter().map(|&v| i32::from(params.quantize(v))).collect()
+        })
+    }
+
+    fn post_tables(&self, backend: EngineBackend) -> Vec<MatchTable> {
+        match backend {
+            // The compiled DNN emits sigmoid codes; drop at quantized 0.5.
+            EngineBackend::CgraSim => vec![anomaly_post_table(self.threshold_code)],
+            // The heuristic emits 0/1 (standardized feature mass above
+            // average, via the default `heuristic_threshold` of 0).
+            EngineBackend::Threshold => vec![anomaly_post_table(1)],
+        }
+    }
+}
+
+/// A SYN-flood / DDoS detector (Table 1's "DoS" row): a compiled linear
+/// scorer over the register stage's SYN-flood signature — bare-SYN
+/// count, destination/service fan-in, and total packets (half-open
+/// flows score high, long-lived established flows score negative).
+///
+/// Deliberately a *different shape* of [`TaurusApp`] from the DNN: a
+/// hand-built four-feature MapReduce program with a single dot-product
+/// row, proving the switch hosts heterogeneous models side by side.
+#[derive(Debug)]
+pub struct SynFloodDetector {
+    /// The compiled one-row scorer.
+    pub program: Arc<GridProgram>,
+    /// Score at or above which the packet is dropped.
+    pub threshold: i64,
+}
+
+/// Weights of the linear scorer over
+/// `[syn_only, dst_count, srv_count, packets]`.
+const SYN_FLOOD_WEIGHTS: [i8; 4] = [3, 2, 2, -1];
+
+impl SynFloodDetector {
+    /// Compiles the scorer for the default grid.
+    pub fn new(threshold: i64) -> Self {
+        let mut b = GraphBuilder::new();
+        let x = b.input(4);
+        let w = b.weights("syn_score", 1, 4, SYN_FLOOD_WEIGHTS.to_vec());
+        let dot = b.map_reduce_rows(w, x, 0);
+        b.output(dot);
+        let graph = b.finish().expect("scorer graph is valid");
+        let program = compile(&graph, &GridConfig::default(), &CompileOptions::default())
+            .expect("a one-row scorer always fits");
+        Self { program: Arc::new(program), threshold }
+    }
+
+    /// The default deployment: drop once the weighted half-open score
+    /// clears a burst of ~8 bare SYNs with fan-in.
+    pub fn default_deployment() -> Self {
+        Self::new(40)
+    }
+}
+
+impl TaurusApp for SynFloodDetector {
+    fn name(&self) -> &str {
+        "syn-flood"
+    }
+
+    fn reaction_time(&self) -> ReactionTime {
+        ReactionTime::PerPacket
+    }
+
+    fn feature_count(&self) -> usize {
+        4
+    }
+
+    fn program(&self) -> Option<Arc<GridProgram>> {
+        Some(Arc::clone(&self.program))
+    }
+
+    fn build_engine(&self, backend: EngineBackend) -> crate::app::BoxedEngine {
+        match backend {
+            EngineBackend::CgraSim => {
+                Box::new(crate::engine::CgraEngine::new(Arc::clone(&self.program)))
+            }
+            // The model is linear, so the heuristic backend can apply the
+            // exact weights (crucially the negative packet-count weight —
+            // an unweighted sum would drop every long-lived flow).
+            EngineBackend::Threshold => Box::new(taurus_pisa::LinearThresholdEngine {
+                weights: SYN_FLOOD_WEIGHTS.iter().map(|&w| i64::from(w)).collect(),
+                threshold: self.threshold - 1, // post table fires at ≥ threshold
+            }),
+        }
+    }
+
+    fn formatter(&self) -> FeatureFormatter {
+        Box::new(|f| {
+            vec![
+                f.syn_only.min(127) as i32,
+                f.dst_count.min(127) as i32,
+                f.srv_count.min(127) as i32,
+                f.packets.min(127) as i32,
+            ]
+        })
+    }
+
+    fn pre_tables(&self) -> Vec<MatchTable> {
+        // SYN floods are a TCP phenomenon; everything else bypasses.
+        vec![proto_select_table(&[6])]
+    }
+
+    fn post_tables(&self, backend: EngineBackend) -> Vec<MatchTable> {
+        match backend {
+            // The compiled scorer emits the weighted half-open score.
+            EngineBackend::CgraSim => vec![anomaly_post_table(self.threshold)],
+            // The heuristic already thresholds internally and emits 0/1.
+            EngineBackend::Threshold => vec![anomaly_post_table(1)],
+        }
+    }
+
+    fn verdict_policy(&self) -> VerdictPolicy {
+        VerdictPolicy::Enforce
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,9 +323,7 @@ mod tests {
         assert_eq!(apps.len(), 10);
         let security = apps.iter().filter(|a| a.security).count();
         assert_eq!(security, 5, "five security rows");
-        assert!(apps
-            .iter()
-            .any(|a| a.name.contains("SYN Flood") && a.reaction.len() == 3));
+        assert!(apps.iter().any(|a| a.name.contains("SYN Flood") && a.reaction.len() == 3));
     }
 
     #[test]
@@ -199,5 +341,54 @@ mod tests {
         let codes = d.format_features(&[1.0, 0.45, 5.0, 4.0, 2.0, 2.0]);
         assert_eq!(codes.len(), 6);
         assert!(codes.iter().all(|&c| (-128..=127).contains(&c)));
+    }
+
+    #[test]
+    fn syn_flood_scorer_compiles_to_line_rate() {
+        let d = SynFloodDetector::default_deployment();
+        assert_eq!(d.program.timing.initiation_interval, 1, "line rate");
+        assert_eq!(d.program.graph.input_width(), 4);
+        // Tiny relative to the DNN: a couple of units.
+        assert!(d.program.resources.cus <= 4, "{} CUs", d.program.resources.cus);
+    }
+
+    #[test]
+    fn syn_flood_engine_separates_floods_from_established_flows() {
+        use taurus_pisa::InferenceEngine;
+        let d = SynFloodDetector::default_deployment();
+        let mut engine = d.build_engine(EngineBackend::CgraSim);
+        // 20 half-open SYNs fanning into one host/service: well past 40.
+        let flood = engine.infer(&[20, 20, 20, 20]);
+        assert!(flood >= d.threshold, "flood score {flood}");
+        // A long-lived established flow: one SYN, many packets.
+        let benign = engine.infer(&[1, 2, 2, 120]);
+        assert!(benign < d.threshold, "benign score {benign}");
+    }
+
+    #[test]
+    fn syn_flood_backends_agree_on_verdict_boundary() {
+        use taurus_pisa::InferenceEngine;
+        let d = SynFloodDetector::default_deployment();
+        let mut cgra = d.build_engine(EngineBackend::CgraSim);
+        let mut heur = d.build_engine(EngineBackend::Threshold);
+        // The heuristic applies the same weights, so the 0/1 flag must
+        // equal "CGRA score ≥ threshold" on every probe — including the
+        // long-lived benign flow the negative weight protects.
+        for x in [[20, 20, 20, 20], [1, 2, 2, 120], [10, 5, 5, 10], [0, 0, 0, 0], [8, 8, 8, 8]] {
+            let score = cgra.infer(&x);
+            assert_eq!(heur.infer(&x), i64::from(score >= d.threshold), "features {x:?}");
+        }
+    }
+
+    #[test]
+    fn apps_declare_their_contracts() {
+        let d = SynFloodDetector::default_deployment();
+        assert_eq!(d.name(), "syn-flood");
+        assert_eq!(d.reaction_time(), ReactionTime::PerPacket);
+        assert_eq!(d.feature_count(), 4);
+        assert!(d.program().is_some());
+        assert_eq!(d.verdict_policy(), VerdictPolicy::Enforce);
+        assert_eq!(d.pre_tables().len(), 1);
+        assert_eq!(d.post_tables(EngineBackend::CgraSim).len(), 1);
     }
 }

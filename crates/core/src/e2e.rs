@@ -22,7 +22,7 @@ use taurus_pisa::registers::PacketObs;
 use taurus_pisa::{FlowTracker, Verdict};
 
 use crate::apps::AnomalyDetector;
-use crate::switch::TaurusSwitch;
+use crate::switch::SwitchBuilder;
 
 /// One packet's extracted stream features and ground truth.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,7 +84,8 @@ pub fn extract_stream_features(trace: &PacketTrace) -> Vec<StreamSample> {
 /// same features the data plane computes).
 pub fn build_detector_from_trace(seed: u64, n_train_records: usize) -> AnomalyDetector {
     let records = KddGenerator::new(seed).take(n_train_records);
-    let trace = PacketTrace::expand(records, &TraceConfig { seed: seed ^ 0x70, ..Default::default() });
+    let trace =
+        PacketTrace::expand(records, &TraceConfig { seed: seed ^ 0x70, ..Default::default() });
     let samples = extract_stream_features(&trace);
     // Decorrelate: take every 3rd packet for training.
     let xs: Vec<Vec<f32>> = samples.iter().step_by(3).map(|s| s.features.clone()).collect();
@@ -120,7 +121,7 @@ pub struct TaurusEvalReport {
 
 /// Runs the Taurus data path over a trace and scores per-packet verdicts.
 pub fn run_taurus(detector: &AnomalyDetector, trace: &PacketTrace) -> TaurusEvalReport {
-    let mut switch = TaurusSwitch::new(detector);
+    let mut switch = SwitchBuilder::new().register(detector).build();
     let mut metrics = BinaryMetrics::default();
     let mut latency_sum = 0u64;
     for tp in &trace.packets {
@@ -138,7 +139,11 @@ pub fn run_taurus(detector: &AnomalyDetector, trace: &PacketTrace) -> TaurusEval
 
 /// Convenience wrapper used by docs/examples: evaluates a detector on a
 /// freshly generated small trace.
-pub fn run_taurus_only(detector: &AnomalyDetector, n_records: usize, seed: u64) -> TaurusEvalReport {
+pub fn run_taurus_only(
+    detector: &AnomalyDetector,
+    n_records: usize,
+    seed: u64,
+) -> TaurusEvalReport {
     let records = KddGenerator::new(seed).take(n_records);
     let trace = PacketTrace::expand(records, &TraceConfig { seed, ..Default::default() });
     run_taurus(detector, &trace)

@@ -1,25 +1,32 @@
 //! Adapter: the CGRA simulator as the pipeline's inference engine.
 
+use std::sync::Arc;
+
 use taurus_cgra::CgraSim;
 use taurus_compiler::GridProgram;
 use taurus_pisa::InferenceEngine;
 
 /// Runs a compiled MapReduce program as the pipeline's ML block. The
-/// engine reports the program's measured ingress-to-egress latency so
-/// end-to-end packet latency accounting matches the ASIC analysis.
+/// engine owns (a shared handle to) its compiled program, so switches
+/// built around it carry no borrow lifetimes; it reports the program's
+/// measured ingress-to-egress latency so end-to-end packet latency
+/// accounting matches the ASIC analysis.
 #[derive(Debug)]
-pub struct CgraEngine<'p> {
-    sim: CgraSim<'p>,
+pub struct CgraEngine {
+    sim: CgraSim,
     latency_ns: u64,
     invocations: u64,
 }
 
-impl<'p> CgraEngine<'p> {
-    /// Wraps a compiled program.
-    pub fn new(program: &'p GridProgram) -> Self {
+impl CgraEngine {
+    /// Wraps a compiled program. Accepts anything convertible into a
+    /// shared program handle: an owned [`GridProgram`] or an existing
+    /// `Arc<GridProgram>`.
+    pub fn new(program: impl Into<Arc<GridProgram>>) -> Self {
+        let program = program.into();
         Self {
-            sim: CgraSim::new(program),
             latency_ns: program.timing.latency_ns.round() as u64,
+            sim: CgraSim::shared(program),
             invocations: 0,
         }
     }
@@ -30,12 +37,12 @@ impl<'p> CgraEngine<'p> {
     }
 
     /// The underlying simulator (e.g., to inspect persistent state).
-    pub fn sim(&self) -> &CgraSim<'p> {
+    pub fn sim(&self) -> &CgraSim {
         &self.sim
     }
 }
 
-impl InferenceEngine for CgraEngine<'_> {
+impl InferenceEngine for CgraEngine {
     fn infer(&mut self, features: &[i32]) -> i64 {
         self.invocations += 1;
         let result = self.sim.process(features);
@@ -59,12 +66,25 @@ mod tests {
     fn engine_reports_program_latency_and_output() {
         let g = microbench::inner_product();
         let p = compile(&g, &GridConfig::default(), &CompileOptions::default()).expect("fits");
-        let mut e = CgraEngine::new(&p);
+        let latency = p.timing.latency_ns.round() as u64;
+        let mut e = CgraEngine::new(p);
         let out = e.infer(&[1; 16]);
         // Weights are (i % 5) − 2 summed over 16 lanes with x = 1.
         let expect: i64 = (0..16).map(|i| (i % 5) - 2).sum();
         assert_eq!(out, expect);
-        assert_eq!(e.latency_ns(), p.timing.latency_ns.round() as u64);
+        assert_eq!(e.latency_ns(), latency);
         assert_eq!(e.invocations(), 1);
+    }
+
+    #[test]
+    fn engine_shares_programs_without_borrows() {
+        let g = microbench::inner_product();
+        let p = Arc::new(
+            compile(&g, &GridConfig::default(), &CompileOptions::default()).expect("fits"),
+        );
+        let mut a = CgraEngine::new(Arc::clone(&p));
+        let mut b = CgraEngine::new(Arc::clone(&p));
+        assert_eq!(a.infer(&[1; 16]), b.infer(&[1; 16]));
+        assert!(Arc::ptr_eq(a.sim().program(), b.sim().program()), "one shared compilation");
     }
 }

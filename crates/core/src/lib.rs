@@ -6,33 +6,48 @@
 //! and quantized by `taurus-ml`, lowered by `taurus-compiler`, and
 //! costed by `taurus-hw-model`.
 //!
-//! - [`engine`]: the [`engine::CgraEngine`] adapter that plugs the CGRA
-//!   simulator into the pipeline's inference slot.
-//! - [`switch`]: [`switch::TaurusSwitch`], the public per-packet device
-//!   API (Fig. 6's full pipeline, bypass included).
+//! - [`app`]: the [`app::TaurusApp`] trait — one per-packet ML
+//!   application as a self-contained bundle (engine factory, feature
+//!   formatter, MATs, verdict policy, reaction time).
 //! - [`apps`]: the in-network application registry (Table 1) and the
-//!   anomaly-detection application bundle (§5.2.2).
+//!   concrete apps: the anomaly-detection DNN (§5.2.2) and the
+//!   SYN-flood scorer (Table 1's DoS row).
+//! - [`engine`]: the [`engine::CgraEngine`] adapter that plugs the CGRA
+//!   simulator into a pipeline's inference slot (owns its compiled
+//!   program via `Arc` — no borrow lifetimes).
+//! - [`switch`]: [`switch::TaurusSwitch`] and [`switch::SwitchBuilder`],
+//!   the public per-packet device API (Fig. 6's full pipeline, bypass
+//!   included), hosting any number of apps side by side.
 //! - [`e2e`]: the end-to-end experiment harness comparing Taurus against
 //!   the control-plane baseline over identical traces (Table 8).
 //!
 //! # Quickstart
 //!
 //! ```
-//! use taurus_core::apps::AnomalyDetector;
-//! use taurus_core::e2e;
+//! use taurus_core::apps::{AnomalyDetector, SynFloodDetector};
+//! use taurus_core::{e2e, SwitchBuilder};
 //!
 //! // Train + quantize + compile the paper's anomaly-detection DNN on a
 //! // small synthetic workload, then push packets through the switch.
 //! let detector = AnomalyDetector::train_default(42, 2_000);
 //! let report = e2e::run_taurus_only(&detector, 500, 99);
 //! assert!(report.f1_percent > 0.0);
+//!
+//! // The same switch can host more apps, each with its own counters.
+//! let switch = SwitchBuilder::new()
+//!     .register(&detector)
+//!     .register(&SynFloodDetector::default_deployment())
+//!     .build();
+//! assert_eq!(switch.report().apps.len(), 2);
 //! ```
 
+pub mod app;
 pub mod apps;
 pub mod e2e;
 pub mod engine;
 pub mod switch;
 
-pub use apps::AnomalyDetector;
+pub use app::{BoxedEngine, EngineBackend, FeatureFormatter, TaurusApp, VerdictPolicy};
+pub use apps::{AnomalyDetector, ReactionTime, SynFloodDetector};
 pub use engine::CgraEngine;
-pub use switch::{SwitchReport, TaurusSwitch};
+pub use switch::{AppCounters, AppReport, SwitchBuilder, SwitchReport, SwitchResult, TaurusSwitch};

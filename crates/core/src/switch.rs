@@ -1,88 +1,293 @@
-//! [`TaurusSwitch`]: the assembled per-packet ML device (Fig. 6).
+//! [`TaurusSwitch`]: the assembled per-packet ML device (Fig. 6), now
+//! hosting any number of [`TaurusApp`]s side by side.
+//!
+//! Construction goes through [`SwitchBuilder`]: pick a pipeline config
+//! and an engine backend, register apps (each contributes its engine,
+//! feature formatter, and MATs), and build. The switch owns everything —
+//! no borrow lifetimes — because engines share compiled programs via
+//! `Arc` ([`crate::engine::CgraEngine`]).
 
 use std::collections::HashSet;
 
 use taurus_dataset::trace::{TracePacket, TCP_ACK, TCP_SYN};
-use taurus_pisa::pipeline::{anomaly_post_table, ml_bypass_table, PipelineResult};
+use taurus_pisa::pipeline::PipelineResult;
 use taurus_pisa::registers::PacketObs;
 use taurus_pisa::{Packet, PipelineConfig, TaurusPipeline, Verdict};
 
+use crate::app::{BoxedEngine, EngineBackend, ReactionTime, TaurusApp, VerdictPolicy};
 use crate::apps::AnomalyDetector;
-use crate::engine::CgraEngine;
 
-/// Aggregate switch counters.
+/// Per-app counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SwitchReport {
-    /// Packets processed.
+pub struct AppCounters {
+    /// Packets this app's pipeline processed.
     pub packets: u64,
-    /// Packets that visited the MapReduce block.
+    /// Packets that visited this app's MapReduce block.
     pub ml_packets: u64,
-    /// Packets dropped by the anomaly verdict.
+    /// Packets this app voted to drop.
     pub dropped: u64,
+    /// Packets this app voted to flag.
+    pub flagged: u64,
 }
 
-/// A Taurus switch running the anomaly-detection application: PISA
-/// pipeline + compiled DNN on the CGRA simulator.
+/// One hosted app's identity and counters, as reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppReport {
+    /// The app's [`TaurusApp::name`].
+    pub name: String,
+    /// Its declared reaction-time class.
+    pub reaction: ReactionTime,
+    /// Whether its verdicts are enforced or observe-only.
+    pub policy: VerdictPolicy,
+    /// Its counters.
+    pub counters: AppCounters,
+}
+
+/// Aggregate switch counters plus the per-app breakdown.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SwitchReport {
+    /// Packets processed by the switch.
+    pub packets: u64,
+    /// Packets that visited at least one app's MapReduce block.
+    pub ml_packets: u64,
+    /// Packets dropped by the combined verdict.
+    pub dropped: u64,
+    /// Packets flagged (but forwarded) by the combined verdict.
+    pub flagged: u64,
+    /// Per-app identities and counters, in registration order.
+    pub apps: Vec<AppReport>,
+}
+
+/// Result of pushing one packet through every hosted app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchResult {
+    /// The combined forwarding decision: the strictest verdict among
+    /// enforcing apps (`Drop > Flag > Forward`).
+    pub verdict: Verdict,
+    /// End-to-end latency, ns: apps run in parallel hardware, so this is
+    /// the slowest app pipeline's latency.
+    pub latency_ns: u64,
+    /// Whether every hosted app bypassed its ML block.
+    pub bypassed: bool,
+    /// Per-app pipeline results, in registration order.
+    pub per_app: Vec<PipelineResult>,
+}
+
+struct HostedApp {
+    name: String,
+    reaction: ReactionTime,
+    policy: VerdictPolicy,
+    pipeline: TaurusPipeline<BoxedEngine>,
+    counters: AppCounters,
+}
+
+/// Builds a [`TaurusSwitch`]: configuration, engine backend selection,
+/// and app registration.
 ///
-/// Borrows the detector (whose compiled program must outlive the
-/// switch); construct via [`TaurusSwitch::new`].
-pub struct TaurusSwitch<'d> {
-    pipeline: TaurusPipeline<CgraEngine<'d>>,
-    seen_flows: HashSet<u32>,
-    report: SwitchReport,
+/// ```
+/// use taurus_core::apps::SynFloodDetector;
+/// use taurus_core::SwitchBuilder;
+///
+/// let mut switch = SwitchBuilder::new()
+///     .register(&SynFloodDetector::default_deployment())
+///     .build();
+/// assert_eq!(switch.report().apps.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct SwitchBuilder {
+    config: PipelineConfig,
+    backend: EngineBackend,
+    apps: Vec<RegisteredApp>,
 }
 
-impl<'d> TaurusSwitch<'d> {
-    /// Builds the switch around a trained detector.
-    pub fn new(detector: &'d AnomalyDetector) -> Self {
-        let engine = CgraEngine::new(&detector.program);
-        let standardizer = detector.standardizer.clone();
-        let quantized_params = detector.quantized.input_params();
-        let mut pipeline = TaurusPipeline::new(
-            PipelineConfig { feature_count: 6, ..PipelineConfig::default() },
-            engine,
-            move |f| {
-                let mut row = f.encode_dnn6().to_vec();
-                standardizer.apply_row(&mut row);
-                row.iter().map(|&v| i32::from(quantized_params.quantize(v))).collect()
-            },
-        );
-        pipeline.pre_tables.push(ml_bypass_table());
-        pipeline.post_tables.push(anomaly_post_table(detector.threshold_code));
-        Self { pipeline, seen_flows: HashSet::new(), report: SwitchReport::default() }
+struct RegisteredApp {
+    name: String,
+    reaction: ReactionTime,
+    policy: VerdictPolicy,
+    feature_count: usize,
+    engine: BoxedEngine,
+    formatter: crate::app::FeatureFormatter,
+    pre_tables: Vec<taurus_pisa::mat::MatchTable>,
+    post_tables: Vec<taurus_pisa::mat::MatchTable>,
+}
+
+impl SwitchBuilder {
+    /// Starts a builder with the default pipeline config and the CGRA
+    /// simulator backend.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Processes one trace packet; returns the pipeline result.
-    pub fn process_trace_packet(&mut self, tp: &TracePacket) -> PipelineResult {
+    /// Sets the pipeline configuration shared by all hosted apps (the
+    /// per-app feature width comes from each app).
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the engine backend for subsequently registered apps.
+    pub fn backend(mut self, backend: EngineBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Registers an app on the currently selected backend. The app is
+    /// only read, never moved: it can be registered on many switches.
+    pub fn register(self, app: &dyn TaurusApp) -> Self {
+        let backend = self.backend;
+        self.register_on(app, backend)
+    }
+
+    /// Registers an app on an explicit backend (mix CGRA-simulated and
+    /// threshold apps on one switch).
+    pub fn register_on(mut self, app: &dyn TaurusApp, backend: EngineBackend) -> Self {
+        self.apps.push(RegisteredApp {
+            name: app.name().to_string(),
+            reaction: app.reaction_time(),
+            policy: app.verdict_policy(),
+            feature_count: app.feature_count(),
+            engine: app.build_engine(backend),
+            formatter: app.formatter(),
+            pre_tables: app.pre_tables(),
+            post_tables: app.post_tables(backend),
+        });
+        self
+    }
+
+    /// Builds the switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no app was registered — a Taurus switch without an app
+    /// is just a PISA switch.
+    pub fn build(self) -> TaurusSwitch {
+        assert!(!self.apps.is_empty(), "register at least one TaurusApp before build()");
+        let config = self.config;
+        let apps = self
+            .apps
+            .into_iter()
+            .map(|r| {
+                let app_config =
+                    PipelineConfig { feature_count: r.feature_count, ..config.clone() };
+                let mut pipeline = TaurusPipeline::new(app_config, r.engine, r.formatter);
+                pipeline.pre_tables = r.pre_tables;
+                pipeline.post_tables = r.post_tables;
+                HostedApp {
+                    name: r.name,
+                    reaction: r.reaction,
+                    policy: r.policy,
+                    pipeline,
+                    counters: AppCounters::default(),
+                }
+            })
+            .collect();
+        TaurusSwitch { apps, seen_flows: HashSet::new(), aggregate: AppCounters::default() }
+    }
+}
+
+/// A Taurus switch hosting one or more per-packet ML applications, each
+/// on its own pipeline instance (PISA stages + MapReduce block), with
+/// independent counters and a combined forwarding verdict.
+pub struct TaurusSwitch {
+    apps: Vec<HostedApp>,
+    seen_flows: HashSet<u32>,
+    /// Device-level counters from the *combined* per-packet outcome
+    /// (unions across apps — not derivable from per-app counters).
+    aggregate: AppCounters,
+}
+
+impl TaurusSwitch {
+    /// Convenience: a single-app switch running the anomaly detector on
+    /// the CGRA simulator (the paper's §5.2.2 deployment).
+    pub fn new(detector: &AnomalyDetector) -> Self {
+        SwitchBuilder::new().register(detector).build()
+    }
+
+    /// Processes one raw packet with its register-stage observation
+    /// through every hosted app.
+    pub fn process(&mut self, pkt: &Packet, obs: PacketObs) -> SwitchResult {
+        self.aggregate.packets += 1;
+        let mut verdict = Verdict::Forward;
+        let mut latency_ns = 0;
+        let mut bypassed = true;
+        let mut per_app = Vec::with_capacity(self.apps.len());
+        for app in &mut self.apps {
+            let r = app.pipeline.process(pkt, obs);
+            app.counters.packets += 1;
+            if !r.bypassed {
+                app.counters.ml_packets += 1;
+                bypassed = false;
+            }
+            match r.verdict {
+                Verdict::Drop => app.counters.dropped += 1,
+                Verdict::Flag => app.counters.flagged += 1,
+                Verdict::Forward => {}
+            }
+            if app.policy == VerdictPolicy::Enforce {
+                verdict = verdict.max_severity(r.verdict);
+            }
+            latency_ns = latency_ns.max(r.latency_ns);
+            per_app.push(r);
+        }
+        if !bypassed {
+            self.aggregate.ml_packets += 1;
+        }
+        match verdict {
+            Verdict::Drop => self.aggregate.dropped += 1,
+            Verdict::Flag => self.aggregate.flagged += 1,
+            Verdict::Forward => {}
+        }
+        SwitchResult { verdict, latency_ns, bypassed, per_app }
+    }
+
+    /// Processes one trace packet; returns the combined result.
+    pub fn process_trace_packet(&mut self, tp: &TracePacket) -> SwitchResult {
         let pkt = Self::to_packet(tp);
         let obs = self.observation(tp);
-        let result = self.pipeline.process(&pkt, obs);
-        self.report.packets += 1;
-        if !result.bypassed {
-            self.report.ml_packets += 1;
-        }
-        if result.verdict == Verdict::Drop {
-            self.report.dropped += 1;
-        }
-        result
+        self.process(&pkt, obs)
     }
 
     /// Clears flow state and counters (between experiment phases).
     pub fn reset(&mut self) {
-        self.pipeline.reset_state();
+        for app in &mut self.apps {
+            app.pipeline.reset_state();
+            app.counters = AppCounters::default();
+        }
         self.seen_flows.clear();
-        self.report = SwitchReport::default();
+        self.aggregate = AppCounters::default();
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters (combined-verdict unions) plus the per-app
+    /// breakdown.
     pub fn report(&self) -> SwitchReport {
-        self.report
+        SwitchReport {
+            packets: self.aggregate.packets,
+            ml_packets: self.aggregate.ml_packets,
+            dropped: self.aggregate.dropped,
+            flagged: self.aggregate.flagged,
+            apps: self
+                .apps
+                .iter()
+                .map(|app| AppReport {
+                    name: app.name.clone(),
+                    reaction: app.reaction,
+                    policy: app.policy,
+                    counters: app.counters,
+                })
+                .collect(),
+        }
     }
 
-    /// The ML block's per-packet latency in nanoseconds.
-    pub fn ml_latency_ns(&mut self) -> u64 {
+    /// Number of hosted apps.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The slowest hosted ML block's per-packet latency in nanoseconds
+    /// (apps run in parallel, so this bounds the ML path).
+    pub fn ml_latency_ns(&self) -> u64 {
         use taurus_pisa::InferenceEngine;
-        self.pipeline.engine_mut().latency_ns()
+        self.apps.iter().map(|a| a.pipeline.engine().latency_ns()).max().unwrap_or(0)
     }
 
     fn to_packet(tp: &TracePacket) -> Packet {
@@ -126,15 +331,20 @@ impl<'d> TaurusSwitch<'d> {
     }
 }
 
-impl core::fmt::Debug for TaurusSwitch<'_> {
+impl core::fmt::Debug for TaurusSwitch {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("TaurusSwitch").field("report", &self.report).finish()
+        f.debug_struct("TaurusSwitch")
+            .field("apps", &self.apps.iter().map(|a| a.name.as_str()).collect::<Vec<_>>())
+            .field("packets", &self.aggregate.packets)
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::app::EngineBackend;
+    use crate::apps::SynFloodDetector;
     use taurus_dataset::kdd::KddGenerator;
     use taurus_dataset::trace::{PacketTrace, TraceConfig};
 
@@ -179,6 +389,65 @@ mod tests {
         }
         assert!(switch.report().packets > 0);
         switch.reset();
-        assert_eq!(switch.report().packets, 0);
+        let report = switch.report();
+        assert_eq!(report.packets, 0);
+        assert!(report.apps.iter().all(|a| a.counters == AppCounters::default()));
+    }
+
+    #[test]
+    fn builder_hosts_two_apps_with_independent_counters() {
+        let detector = AnomalyDetector::train_default(6, 1_500);
+        let syn = SynFloodDetector::default_deployment();
+        let mut switch = SwitchBuilder::new().register(&detector).register(&syn).build();
+        assert_eq!(switch.app_count(), 2);
+
+        let records = KddGenerator::new(14).take(80);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        for tp in trace.packets.iter().take(800) {
+            let r = switch.process_trace_packet(tp);
+            assert_eq!(r.per_app.len(), 2);
+        }
+
+        let report = switch.report();
+        assert_eq!(report.apps.len(), 2);
+        assert_eq!(report.apps[0].name, "anomaly-detection");
+        assert_eq!(report.apps[1].name, "syn-flood");
+        // Both apps saw every packet, on their own pipelines.
+        assert_eq!(report.apps[0].counters.packets, report.packets);
+        assert_eq!(report.apps[1].counters.packets, report.packets);
+        // The DNN takes TCP+UDP, the SYN app TCP only: counters diverge.
+        assert!(report.apps[0].counters.ml_packets >= report.apps[1].counters.ml_packets);
+        // Aggregates are combined-verdict unions: at least the strictest
+        // single app, at most the sum of all enforcing apps.
+        let per_app_dropped: Vec<u64> = report.apps.iter().map(|a| a.counters.dropped).collect();
+        assert!(report.dropped >= *per_app_dropped.iter().max().unwrap());
+        assert!(report.dropped <= per_app_dropped.iter().sum::<u64>());
+        assert_eq!(report.ml_packets, report.apps[0].counters.ml_packets, "union of ML visits");
+        // Aggregate ML latency is the slowest app (the DNN ≫ the scorer).
+        assert_eq!(switch.ml_latency_ns(), detector.program.timing.latency_ns.round() as u64);
+    }
+
+    #[test]
+    fn mixed_backends_on_one_switch() {
+        let syn = SynFloodDetector::default_deployment();
+        let detector = AnomalyDetector::train_default(7, 1_000);
+        let mut switch = SwitchBuilder::new()
+            .register_on(&detector, EngineBackend::CgraSim)
+            .register_on(&syn, EngineBackend::Threshold)
+            .build();
+        let records = KddGenerator::new(15).take(40);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        for tp in trace.packets.iter().take(200) {
+            switch.process_trace_packet(tp);
+        }
+        // The threshold engine reports 1 ns; the DNN dominates.
+        assert!(switch.ml_latency_ns() > 1);
+        assert!(switch.report().apps[1].counters.packets > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TaurusApp")]
+    fn build_without_apps_panics() {
+        let _ = SwitchBuilder::new().build();
     }
 }

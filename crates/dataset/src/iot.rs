@@ -294,7 +294,7 @@ mod tests {
 
     #[test]
     fn binary_dataset_is_two_class() {
-        let ds = IotGenerator::new(5).binary_dataset(1_000, );
+        let ds = IotGenerator::new(5).binary_dataset(1_000);
         assert_eq!(ds.classes(), 2);
         assert_eq!(ds.width(), 4);
         let iot = ds.labels().iter().filter(|&&y| y == 1).count();

@@ -373,7 +373,8 @@ impl KddGenerator {
             KddClass::Probe => (dist::normal(rng, 0.25, 0.15)).clamp(0.0, 1.0) as f32,
             _ => (dist::normal(rng, 0.75, 0.2)).clamp(0.0, 1.0) as f32,
         };
-        let diff_srv_rate = (1.0 - same_srv_rate) * (dist::normal(rng, 0.6, 0.2)).clamp(0.0, 1.0) as f32;
+        let diff_srv_rate =
+            (1.0 - same_srv_rate) * (dist::normal(rng, 0.6, 0.2)).clamp(0.0, 1.0) as f32;
 
         let protocol_weights: [f64; 3] = match shape {
             KddClass::Normal => [0.72, 0.22, 0.06],
@@ -464,7 +465,8 @@ mod tests {
         let frac_normal =
             records.iter().filter(|r| r.label == KddClass::Normal).count() as f64 / 20_000.0;
         assert!((frac_normal - 0.53).abs() < 0.02, "frac_normal={frac_normal}");
-        let frac_dos = records.iter().filter(|r| r.label == KddClass::Dos).count() as f64 / 20_000.0;
+        let frac_dos =
+            records.iter().filter(|r| r.label == KddClass::Dos).count() as f64 / 20_000.0;
         assert!((frac_dos - 0.36).abs() < 0.02, "frac_dos={frac_dos}");
     }
 
@@ -483,10 +485,8 @@ mod tests {
     fn classes_overlap_somewhat() {
         // Stealthy attacks exist: some DoS records should have low counts.
         let records = KddGenerator::new(5).take(20_000);
-        let stealthy_dos = records
-            .iter()
-            .filter(|r| r.label == KddClass::Dos && r.count < 20.0)
-            .count();
+        let stealthy_dos =
+            records.iter().filter(|r| r.label == KddClass::Dos && r.count < 20.0).count();
         assert!(stealthy_dos > 100, "stealthy_dos={stealthy_dos}");
     }
 

@@ -84,10 +84,7 @@ impl Dataset {
         let test_x = self.x.split_off(n_train.min(self.x.len()));
         let test_y = self.y.split_off(n_train.min(self.y.len()));
         let classes = self.classes;
-        (
-            Dataset::new(self.x, self.y, classes),
-            Dataset::new(test_x, test_y, classes),
-        )
+        (Dataset::new(self.x, self.y, classes), Dataset::new(test_x, test_y, classes))
     }
 
     /// Applies a transform to every feature row.

@@ -265,13 +265,7 @@ impl PacketTrace {
             Protocol::Udp => 17,
             Protocol::Icmp => 1,
         };
-        FiveTuple {
-            src_ip,
-            dst_ip,
-            src_port: rng.gen_range(32768..61000),
-            dst_port,
-            proto,
-        }
+        FiveTuple { src_ip, dst_ip, src_port: rng.gen_range(32768..61000), dst_port, proto }
     }
 
     fn flags_for(record: &ConnRecord, i: usize, n: usize, urgent_budget: usize) -> u8 {

@@ -75,11 +75,8 @@ impl QuantParams {
 
     /// Symmetric parameters from observed values.
     pub fn symmetric_from_values(values: &[f32]) -> Self {
-        let absmax = values
-            .iter()
-            .copied()
-            .filter(|v| v.is_finite())
-            .fold(0.0f32, |m, v| m.max(v.abs()));
+        let absmax =
+            values.iter().copied().filter(|v| v.is_finite()).fold(0.0f32, |m, v| m.max(v.abs()));
         Self::symmetric(absmax)
     }
 
@@ -196,11 +193,8 @@ impl Requantizer {
         // Factors ≥ 1 left-shift the accumulator *before* the high multiply
         // (gemmlowp's SaturatingRoundingDoublingHighMul pipeline) so no
         // fractional precision is lost.
-        let acc = if self.shift < 0 {
-            acc.saturating_mul(1i32 << (-self.shift).min(30))
-        } else {
-            acc
-        };
+        let acc =
+            if self.shift < 0 { acc.saturating_mul(1i32 << (-self.shift).min(30)) } else { acc };
         // Rounding doubling high multiply (SQRDMULH semantics). The final
         // division truncates toward zero, as in gemmlowp — an arithmetic
         // shift would floor and bias negative results by one code.

@@ -53,8 +53,8 @@ pub fn count_min_sketch(d: usize, w: usize) -> Graph {
     // Odd multipliers per row (Knuth-style multiplicative hashing).
     let mults = [0x9E37i32, 0x85EB, 0xC2B3, 0x27D5];
     let mut estimates = Vec::with_capacity(d);
-    for row in 0..d {
-        let idx = lane_hash(&mut b, key, vec![mults[row]], 7, w as i32);
+    for (row, &mult) in mults.iter().enumerate().take(d) {
+        let idx = lane_hash(&mut b, key, vec![mult], 7, w as i32);
         // One-hot over the row: onehot_j = max(0, 1 − |j − idx|) computed
         // with map ops; the lane-index constant vector gives the width,
         // and the scalar `idx` broadcasts across it.

@@ -345,11 +345,7 @@ impl Graph {
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        let n_inputs = self
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.op, Op::Input { .. }))
-            .count();
+        let n_inputs = self.nodes.iter().filter(|n| matches!(n.op, Op::Input { .. })).count();
         if n_inputs != 1 {
             return Err(format!("graph must have exactly one input node, has {n_inputs}"));
         }
@@ -417,9 +413,9 @@ impl Graph {
                 Op::AddBias { bias, input } => {
                     check(w(*input) == want && bias.len() == want, "bias width")?;
                 }
-                Op::Requant { input, .. }
-                | Op::Lut { input, .. }
-                | Op::GreaterZero { input } => check(w(*input) == want, "unary width")?,
+                Op::Requant { input, .. } | Op::Lut { input, .. } | Op::GreaterZero { input } => {
+                    check(w(*input) == want, "unary width")?
+                }
                 Op::Concat { inputs } => {
                     let total: usize = inputs.iter().map(|&n| w(n)).sum();
                     check(total == want, "concat width = sum of inputs")?;

@@ -57,7 +57,8 @@ impl<'g> Interpreter<'g> {
     /// Panics if `input` width differs from the graph's input node.
     pub fn run_step(&mut self, input: &[i32]) -> Vec<Vec<i32>> {
         assert_eq!(input.len(), self.graph.input_width(), "input width mismatch");
-        let mut values: HashMap<NodeId, Vec<i32>> = HashMap::with_capacity(self.graph.nodes().len());
+        let mut values: HashMap<NodeId, Vec<i32>> =
+            HashMap::with_capacity(self.graph.nodes().len());
         let mut pending_state: Vec<(usize, Vec<i32>)> = Vec::new();
 
         for id in self.graph.topo_order() {
@@ -108,12 +109,8 @@ impl<'g> Interpreter<'g> {
                         })
                         .collect()
                 }
-                Op::GreaterZero { input } => {
-                    get(input).iter().map(|&v| i32::from(v > 0)).collect()
-                }
-                Op::Concat { inputs } => {
-                    inputs.iter().flat_map(|n| get(n).iter().copied().collect::<Vec<_>>()).collect()
-                }
+                Op::GreaterZero { input } => get(input).iter().map(|&v| i32::from(v > 0)).collect(),
+                Op::Concat { inputs } => inputs.iter().flat_map(|n| get(n).to_vec()).collect(),
                 Op::Slice { input, start, len } => get(input)[*start..*start + *len].to_vec(),
                 Op::StateRead { state } => self.state[state.0 as usize].clone(),
                 Op::StateWrite { state, input } => {
@@ -280,7 +277,7 @@ mod tests {
     fn lut_clamps_out_of_range_codes() {
         let mut b = GraphBuilder::new();
         let x = b.input(1);
-        let table: Vec<i8> = (0..256).map(|i| (i as i32 - 128).clamp(-128, 127) as i8).collect();
+        let table: Vec<i8> = (0..256).map(|i| (i - 128).clamp(-128, 127) as i8).collect();
         let lut = b.lut(table);
         let y = b.lookup(x, lut);
         b.output(y);

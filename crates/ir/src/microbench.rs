@@ -252,7 +252,7 @@ pub fn act_lut() -> Graph {
     // Table: tanh on Q4.4 codes.
     let table: Vec<i8> = (0..256)
         .map(|i| {
-            let code = i as i32 - 128;
+            let code = i - 128;
             let real = code as f32 / Q44_ONE as f32;
             (real.tanh() * Q44_ONE as f32).round().clamp(-128.0, 127.0) as i8
         })

@@ -48,12 +48,7 @@ impl Conv1D {
         assert!(x.len() >= self.kernel.len(), "input shorter than kernel");
         (0..self.output_len(x.len()))
             .map(|i| {
-                self.kernel
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &w)| w * x[i + k])
-                    .sum::<f32>()
-                    + self.bias
+                self.kernel.iter().enumerate().map(|(k, &w)| w * x[i + k]).sum::<f32>() + self.bias
             })
             .collect()
     }

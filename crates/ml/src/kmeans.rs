@@ -36,12 +36,7 @@ impl KMeans {
         while centroids.len() < k {
             let d2: Vec<f32> = data
                 .iter()
-                .map(|p| {
-                    centroids
-                        .iter()
-                        .map(|c| sq_dist(p, c))
-                        .fold(f32::INFINITY, f32::min)
-                })
+                .map(|p| centroids.iter().map(|c| sq_dist(p, c)).fold(f32::INFINITY, f32::min))
                 .collect();
             let total: f32 = d2.iter().sum();
             if total <= 0.0 {
@@ -67,9 +62,7 @@ impl KMeans {
         for _ in 0..max_iters {
             let mut changed = false;
             for (a, p) in assignment.iter_mut().zip(data) {
-                let best = argmin(
-                    &centroids.iter().map(|c| sq_dist(p, c)).collect::<Vec<_>>(),
-                );
+                let best = argmin(&centroids.iter().map(|c| sq_dist(p, c)).collect::<Vec<_>>());
                 if best != *a {
                     *a = best;
                     changed = true;

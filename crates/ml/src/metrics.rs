@@ -163,12 +163,8 @@ mod tests {
 
     #[test]
     fn binary_counts_route_correctly() {
-        let m = BinaryMetrics::from_pairs([
-            (true, true),
-            (true, false),
-            (false, false),
-            (false, true),
-        ]);
+        let m =
+            BinaryMetrics::from_pairs([(true, true), (true, false), (false, false), (false, true)]);
         assert_eq!((m.tp, m.fp, m.tn, m.fn_), (1, 1, 1, 1));
         assert_eq!(m.total(), 4);
         assert_eq!(m.accuracy(), 0.5);

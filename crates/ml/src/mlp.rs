@@ -86,11 +86,7 @@ impl MlpConfig {
     /// The paper's anomaly-detection DNN: 6 → 12 → 6 → 3 → 1 (ReLU hidden,
     /// sigmoid output), per §5.1.2 and Fig. 11.
     pub fn anomaly_dnn() -> Self {
-        Self {
-            layers: vec![6, 12, 6, 3, 1],
-            hidden: Activation::Relu,
-            head: OutputHead::Sigmoid,
-        }
+        Self { layers: vec![6, 12, 6, 3, 1], hidden: Activation::Relu, head: OutputHead::Sigmoid }
     }
 
     /// One of Table 3's TMC IoT kernels, e.g. `4×10×2` = `[4, 10, 2]`.
@@ -243,7 +239,8 @@ impl Mlp {
             order.shuffle(&mut rng);
             last_loss = 0.0;
             for chunk in order.chunks(params.batch_size.max(1)) {
-                last_loss += self.train_batch(chunk.iter().map(|&i| (&x[i], y[i])), lr, params.momentum);
+                last_loss +=
+                    self.train_batch(chunk.iter().map(|&i| (&x[i], y[i])), lr, params.momentum);
             }
             last_loss /= (x.len() as f32 / params.batch_size.max(1) as f32).max(1.0);
             lr *= params.lr_decay;
@@ -343,10 +340,8 @@ impl Mlp {
             self.velocity_w[l].add_scaled(&grad_w[l], -lr * inv);
             let vw = self.velocity_w[l].clone();
             self.layers[l].w.add_scaled(&vw, 1.0);
-            for ((v, g), b) in self.velocity_b[l]
-                .iter_mut()
-                .zip(&grad_b[l])
-                .zip(self.layers[l].b.iter_mut())
+            for ((v, g), b) in
+                self.velocity_b[l].iter_mut().zip(&grad_b[l]).zip(self.layers[l].b.iter_mut())
             {
                 *v = momentum * *v - lr * inv * g;
                 *b += *v;
@@ -360,11 +355,7 @@ impl Mlp {
         if x.is_empty() {
             return 0.0;
         }
-        let correct = x
-            .iter()
-            .zip(y)
-            .filter(|(xi, &yi)| self.predict_class(xi) == yi)
-            .count();
+        let correct = x.iter().zip(y).filter(|(xi, &yi)| self.predict_class(xi) == yi).count();
         correct as f64 / x.len() as f64
     }
 }
@@ -418,12 +409,7 @@ mod tests {
 
     #[test]
     fn learns_xor_nonlinear() {
-        let x: Vec<Vec<f32>> = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ];
+        let x: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let y = vec![0, 1, 1, 0];
         // Replicate to form batches.
         let xs: Vec<Vec<f32>> = x.iter().cycle().take(200).cloned().collect();

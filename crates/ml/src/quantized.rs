@@ -29,10 +29,7 @@ use crate::svm::Svm;
 #[inline]
 pub fn dot_acc(w: &[i8], x: &[i8], x_zero_point: i32) -> i32 {
     debug_assert_eq!(w.len(), x.len());
-    w.iter()
-        .zip(x)
-        .map(|(&wv, &xv)| i32::from(wv) * (i32::from(xv) - x_zero_point))
-        .sum()
+    w.iter().zip(x).map(|(&wv, &xv)| i32::from(wv) * (i32::from(xv) - x_zero_point)).sum()
 }
 
 /// Squared L2 distance between int8 code vectors (zero points cancel when
@@ -547,10 +544,7 @@ mod tests {
         let float_acc = mlp.accuracy(&x, &y);
         let quant_acc = q.accuracy(&x, &y);
         assert!(float_acc > 0.95, "float {float_acc}");
-        assert!(
-            (float_acc - quant_acc).abs() < 0.05,
-            "float {float_acc} vs quantized {quant_acc}"
-        );
+        assert!((float_acc - quant_acc).abs() < 0.05, "float {float_acc} vs quantized {quant_acc}");
     }
 
     #[test]

@@ -85,12 +85,9 @@ impl Svm {
             order.shuffle(&mut rng);
             for &j in &order {
                 let target = if y[j] == 1 { 1.0f32 } else { -1.0 };
-                let k_row: Vec<f32> = support
-                    .iter()
-                    .map(|sv| (-config.gamma * sq_dist(&x[j], sv)).exp())
-                    .collect();
-                let f: f32 =
-                    alpha.iter().zip(&k_row).map(|(a, k)| a * k).sum::<f32>() + bias;
+                let k_row: Vec<f32> =
+                    support.iter().map(|sv| (-config.gamma * sq_dist(&x[j], sv)).exp()).collect();
+                let f: f32 = alpha.iter().zip(&k_row).map(|(a, k)| a * k).sum::<f32>() + bias;
                 let eta = 1.0 / (config.lambda * t as f32);
                 // Regularization shrink.
                 let shrink = 1.0 - eta * config.lambda;

@@ -34,5 +34,8 @@ pub use mat::{Action, MatchKind, MatchTable, VliwOp};
 pub use packet::Packet;
 pub use parser::Parser;
 pub use phv::{Field, Phv};
-pub use pipeline::{InferenceEngine, PipelineConfig, TaurusPipeline, Verdict};
+pub use pipeline::{
+    FeatureFormatter, InferenceEngine, LinearThresholdEngine, PipelineConfig, PipelineResult,
+    TaurusPipeline, ThresholdEngine, Verdict,
+};
 pub use registers::{FlowFeatures, FlowTracker, RegisterArray};

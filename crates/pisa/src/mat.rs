@@ -223,7 +223,8 @@ impl MatchTable {
         ranges: &[(i64, i64, i64)],
         default_code: i64,
     ) -> Self {
-        let mut t = Self::new(name, Action::new("default-code", vec![VliwOp::Set(dst, default_code)]));
+        let mut t =
+            Self::new(name, Action::new("default-code", vec![VliwOp::Set(dst, default_code)]));
         for &(lo, hi, code) in ranges {
             t.add_entry(TableEntry {
                 matches: vec![(src, MatchKind::Range { lo, hi })],
@@ -279,10 +280,8 @@ mod tests {
 
     #[test]
     fn table_priority_and_default() {
-        let mut t = MatchTable::new(
-            "acl",
-            Action::new("allow", vec![VliwOp::Set(Field::Decision, 0)]),
-        );
+        let mut t =
+            MatchTable::new("acl", Action::new("allow", vec![VliwOp::Set(Field::Decision, 0)]));
         t.add_entry(TableEntry {
             matches: vec![(Field::DstPort, MatchKind::Exact(23))],
             priority: 10,

@@ -37,7 +37,14 @@ pub struct Packet {
 
 impl Packet {
     /// A minimal TCP packet for tests and trace conversion.
-    pub fn tcp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, flags: u8, len: u16) -> Self {
+    pub fn tcp(
+        src_ip: u32,
+        dst_ip: u32,
+        src_port: u16,
+        dst_port: u16,
+        flags: u8,
+        len: u16,
+    ) -> Self {
         Self {
             dst_mac: [0x02, 0, 0, 0, 0, 1],
             src_mac: [0x02, 0, 0, 0, 0, 2],

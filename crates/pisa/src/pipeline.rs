@@ -26,6 +26,23 @@ pub trait InferenceEngine {
     fn latency_ns(&self) -> u64;
 }
 
+/// Boxed engines forward, so heterogeneous engines (CGRA-simulated apps
+/// next to threshold heuristics) can share one pipeline type.
+impl<E: InferenceEngine + ?Sized> InferenceEngine for Box<E> {
+    fn infer(&mut self, features: &[i32]) -> i64 {
+        (**self).infer(features)
+    }
+
+    fn latency_ns(&self) -> u64 {
+        (**self).latency_ns()
+    }
+}
+
+/// A feature formatter: turns raw register-stage [`FlowFeatures`] into
+/// the integer codes a model consumes (standardization + quantization —
+/// conceptually MAT range tables).
+pub type FeatureFormatter = Box<dyn FnMut(&FlowFeatures) -> Vec<i32> + Send>;
+
 /// A trivial engine: flags when the sum of features exceeds a threshold.
 /// Useful for tests and as the simplest possible "heuristic" baseline.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +54,29 @@ pub struct ThresholdEngine {
 impl InferenceEngine for ThresholdEngine {
     fn infer(&mut self, features: &[i32]) -> i64 {
         i64::from(features.iter().map(|&v| i64::from(v)).sum::<i64>() > self.threshold)
+    }
+
+    fn latency_ns(&self) -> u64 {
+        1
+    }
+}
+
+/// A weighted-sum heuristic engine: flags when `Σ wᵢ·xᵢ > threshold`.
+/// The MAT-expressible analogue of a one-row linear scorer — lets apps
+/// whose model is linear keep exact semantics (including negative
+/// weights) on the heuristic backend.
+#[derive(Debug, Clone)]
+pub struct LinearThresholdEngine {
+    /// Per-feature weights (features beyond `weights.len()` count 0).
+    pub weights: Vec<i64>,
+    /// Flag when the weighted sum exceeds this.
+    pub threshold: i64,
+}
+
+impl InferenceEngine for LinearThresholdEngine {
+    fn infer(&mut self, features: &[i32]) -> i64 {
+        let score: i64 = features.iter().zip(&self.weights).map(|(&x, &w)| i64::from(x) * w).sum();
+        i64::from(score > self.threshold)
     }
 
     fn latency_ns(&self) -> u64 {
@@ -62,6 +102,26 @@ impl Verdict {
         match code {
             1 => Verdict::Drop,
             2 => Verdict::Flag,
+            _ => Verdict::Forward,
+        }
+    }
+
+    /// Encodes back to the PHV decision field ([`Verdict::from_code`]'s
+    /// inverse).
+    pub fn code(self) -> i64 {
+        match self {
+            Verdict::Forward => 0,
+            Verdict::Drop => 1,
+            Verdict::Flag => 2,
+        }
+    }
+
+    /// The stricter of two verdicts (`Drop > Flag > Forward`) — how a
+    /// switch combines the decisions of multiple hosted applications.
+    pub fn max_severity(self, other: Verdict) -> Verdict {
+        match (self, other) {
+            (Verdict::Drop, _) | (_, Verdict::Drop) => Verdict::Drop,
+            (Verdict::Flag, _) | (_, Verdict::Flag) => Verdict::Flag,
             _ => Verdict::Forward,
         }
     }
@@ -109,7 +169,7 @@ pub struct TaurusPipeline<E> {
     tracker: FlowTracker,
     /// Turns raw flow features into the int8 codes the model expects
     /// (standardization + quantization — conceptually MAT range tables).
-    formatter: Box<dyn FnMut(&FlowFeatures) -> Vec<i32> + Send>,
+    formatter: FeatureFormatter,
     engine: E,
     /// Postprocessing MATs (verdict thresholding, queue selection).
     pub post_tables: Vec<MatchTable>,
@@ -138,6 +198,11 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
             packets: 0,
             ml_packets: 0,
         }
+    }
+
+    /// Shared access to the inference engine (e.g., to read its latency).
+    pub fn engine(&self) -> &E {
+        &self.engine
     }
 
     /// Access to the inference engine (e.g., for weight updates).
@@ -234,15 +299,14 @@ pub fn anomaly_post_table(threshold: i64) -> MatchTable {
     t
 }
 
-/// Builds the standard preprocessing bypass table: only TCP/UDP visit the
-/// model; everything else bypasses (Fig. 6's preprocessing decision).
-pub fn ml_bypass_table() -> MatchTable {
+/// Builds a preprocessing selection table: packets whose IP protocol is
+/// in `protos` visit the model, everything else bypasses (Fig. 6's
+/// preprocessing decision, parameterized per application).
+pub fn proto_select_table(protos: &[i64]) -> MatchTable {
     use crate::mat::{Action, MatchKind, TableEntry, VliwOp};
-    let mut t = MatchTable::new(
-        "ml-select",
-        Action::new("bypass", vec![VliwOp::Set(Field::BypassMl, 1)]),
-    );
-    for proto in [6i64, 17] {
+    let mut t =
+        MatchTable::new("ml-select", Action::new("bypass", vec![VliwOp::Set(Field::BypassMl, 1)]));
+    for &proto in protos {
         t.add_entry(TableEntry {
             matches: vec![(Field::Proto, MatchKind::Exact(proto))],
             priority: 1,
@@ -250,6 +314,12 @@ pub fn ml_bypass_table() -> MatchTable {
         });
     }
     t
+}
+
+/// Builds the standard preprocessing bypass table: only TCP/UDP visit the
+/// model; everything else bypasses.
+pub fn ml_bypass_table() -> MatchTable {
+    proto_select_table(&[6, 17])
 }
 
 #[cfg(test)]
@@ -326,5 +396,71 @@ mod tests {
         assert_eq!(Verdict::from_code(1), Verdict::Drop);
         assert_eq!(Verdict::from_code(2), Verdict::Flag);
         assert_eq!(Verdict::from_code(99), Verdict::Forward);
+    }
+
+    #[test]
+    fn verdict_round_trips_through_codes() {
+        for v in [Verdict::Forward, Verdict::Drop, Verdict::Flag] {
+            assert_eq!(Verdict::from_code(v.code()), v);
+        }
+        // Unknown codes decode to Forward, whose canonical code is 0.
+        assert_eq!(Verdict::from_code(99).code(), 0);
+        assert_eq!(Verdict::from_code(-1).code(), 0);
+    }
+
+    #[test]
+    fn verdict_severity_orders_drop_over_flag_over_forward() {
+        use Verdict::*;
+        assert_eq!(Forward.max_severity(Forward), Forward);
+        assert_eq!(Forward.max_severity(Flag), Flag);
+        assert_eq!(Flag.max_severity(Forward), Flag);
+        assert_eq!(Drop.max_severity(Flag), Drop);
+        assert_eq!(Flag.max_severity(Drop), Drop);
+        assert_eq!(Forward.max_severity(Drop), Drop);
+    }
+
+    #[test]
+    fn bypass_never_reaches_the_engine() {
+        // An engine that panics if invoked proves bypassed packets skip
+        // the MapReduce block entirely.
+        struct Unreachable;
+        impl InferenceEngine for Unreachable {
+            fn infer(&mut self, _features: &[i32]) -> i64 {
+                panic!("bypassed packet reached the engine");
+            }
+            fn latency_ns(&self) -> u64 {
+                1_000
+            }
+        }
+        let mut p = TaurusPipeline::new(PipelineConfig::default(), Unreachable, |f| {
+            f.encode_dnn6().iter().map(|&v| v as i32).collect()
+        });
+        p.pre_tables.push(ml_bypass_table());
+        p.post_tables.push(anomaly_post_table(1));
+        let mut icmp = Packet::tcp(1, 2, 0, 0, 0, 100);
+        icmp.proto = 1;
+        for i in 0..50 {
+            let r = p.process(&icmp, obs_for(&icmp, i == 0));
+            assert!(r.bypassed);
+            assert_eq!(r.ml_out, 0, "bypassed packets carry no ML output");
+        }
+        assert_eq!(p.stats(), (50, 0));
+    }
+
+    #[test]
+    fn reset_state_clears_flow_features_but_not_throughput_stats() {
+        let mut p = pipeline();
+        let pkt = Packet::tcp(1, 2, 1000, 80, 0, 100);
+        for i in 0..10 {
+            p.process(&pkt, obs_for(&pkt, i == 0));
+        }
+        let before = p.process(&pkt, obs_for(&pkt, false));
+        assert_eq!(before.features.packets, 11, "accumulated across packets");
+        p.reset_state();
+        let after = p.process(&pkt, obs_for(&pkt, true));
+        assert_eq!(after.features.packets, 1, "registers cleared by reset");
+        // Throughput counters survive reset (they describe the device,
+        // not the flows).
+        assert_eq!(p.stats().0, 12);
     }
 }

@@ -117,11 +117,8 @@ impl FlowFeatures {
     /// proxy (bare-SYN fraction) and the urgent count.
     pub fn encode_svm8(&self) -> [f32; 8] {
         let d = self.encode_dnn6();
-        let syn_rate = if self.packets == 0 {
-            0.0
-        } else {
-            self.syn_only as f32 / self.packets as f32
-        };
+        let syn_rate =
+            if self.packets == 0 { 0.0 } else { self.syn_only as f32 / self.packets as f32 };
         [d[0], d[1], d[2], d[3], d[4], d[5], syn_rate, (self.urgent as f32).ln_1p()]
     }
 }

@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --release --example anomaly_detection`
 
+use taurus_core::apps::SynFloodDetector;
 use taurus_core::e2e::{build_detector_from_trace, run_table8};
+use taurus_core::SwitchBuilder;
 use taurus_dataset::kdd::KddGenerator;
 use taurus_dataset::trace::{PacketTrace, TraceConfig};
 
@@ -55,5 +57,22 @@ fn main() {
         );
         let ratio = row.taurus.detected_pct / row.baseline.detected_pct.max(1e-6);
         println!("               → Taurus catches {ratio:.0}× more anomalous packets");
+    }
+
+    // 4. The same switch hosts a second app (Table 1's DoS row) beside
+    //    the DNN — one SwitchBuilder, per-app counters.
+    let mut switch = SwitchBuilder::new()
+        .register(&detector)
+        .register(&SynFloodDetector::default_deployment())
+        .build();
+    for tp in &trace.packets {
+        switch.process_trace_packet(tp);
+    }
+    println!("\nmulti-app deployment over the same trace:");
+    for app in switch.report().apps {
+        println!(
+            "  {:>17}: {:6} pkts, {:6} through ML, {:5} dropped",
+            app.name, app.counters.packets, app.counters.ml_packets, app.counters.dropped
+        );
     }
 }

@@ -24,13 +24,10 @@ fn main() {
     // 2. Quantize to int8 and lower to MapReduce IR: per-centroid squared
     //    distance (map subtract/square, reduce add) then an arg-min.
     let qkm = QuantizedKMeans::quantize(&km, train.features());
-    println!(
-        "quantized accuracy:    {:.1}%",
-        qkm.accuracy(test.features(), test.labels()) * 100.0
-    );
+    println!("quantized accuracy:    {:.1}%", qkm.accuracy(test.features(), test.labels()) * 100.0);
     let graph = frontend::kmeans_to_graph(&qkm);
-    let program = compile(&graph, &GridConfig::default(), &CompileOptions::default())
-        .expect("kmeans fits");
+    let program =
+        compile(&graph, &GridConfig::default(), &CompileOptions::default()).expect("kmeans fits");
     println!(
         "compiled: {} CUs, {} MUs, {:.0} ns (paper: 61 ns), line rate 1/{}",
         program.resources.cus,

@@ -42,11 +42,13 @@ fn main() {
             eval_y,
             &TrainingRunConfig { sampling_rate: rate, rounds: 25, ..Default::default() },
         );
-        let reach = time_to_f1(&curve, 55.0)
+        // Skip the pre-training point: a lucky random init can sit above
+        // the threshold at t≈0 without saying anything about training.
+        let reach = time_to_f1(&curve[1..], 40.0)
             .map(|t| format!("{t:.2} s"))
             .unwrap_or_else(|| "not reached".into());
         println!(
-            "  sampling {rate:>5.0e}: F1 reaches 55 after {reach:>12}, final F1 {:.1}",
+            "  sampling {rate:>5.0e}: F1 reaches 40 after {reach:>12}, final F1 {:.1}",
             final_f1(&curve)
         );
     }

@@ -12,7 +12,7 @@ use taurus_ml::mlp::{Mlp, MlpConfig, OutputHead, TrainParams};
 use taurus_ml::QuantizedMlp;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn random_mlps_survive_the_full_pipeline(

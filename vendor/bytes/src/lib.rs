@@ -1,0 +1,221 @@
+//! Offline, API-compatible subset of the `bytes` crate: cheaply clonable
+//! [`Bytes`] views over shared buffers, a growable [`BytesMut`], and the
+//! big-endian [`Buf`]/[`BufMut`] cursor traits — exactly the surface the
+//! wire-format code in `taurus-pisa` uses.
+
+use std::sync::Arc;
+
+/// Read cursor over a byte source (big-endian getters).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Fills `dst` from the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write cursor over a growable byte sink (big-endian putters).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Immutable, cheaply clonable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self { data: data.into(), pos: 0 }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data: data.into(), pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        Self { data: src.to_vec() }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_u32(0xDEADBEEF);
+        b.put_slice(&[1, 2, 3]);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 10);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert_eq!(bytes.get_u16(), 0x1234);
+        assert_eq!(bytes.get_u32(), 0xDEADBEEF);
+        let mut rest = [0u8; 3];
+        bytes.copy_to_slice(&mut rest);
+        assert_eq!(rest, [1, 2, 3]);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn clone_keeps_cursor_independent() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        a.get_u16();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline mini benchmark harness.
+//!
+//! API-compatible with the `criterion` surface this workspace uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of statistical
+//! sampling it runs a fixed warm-up then measures a calibrated batch and
+//! prints mean ns/iter — enough to eyeball regressions and to keep
+//! `cargo bench` compiling and running hermetically.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark: brief warm-up, calibration to ~50 ms,
+    /// then a measured batch; prints mean ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up + calibration: grow the batch until it costs ≥ 10 ms.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        // Measured run at ~5× the calibrated batch.
+        let mut b = Bencher { iters: iters.saturating_mul(5).max(1), elapsed: Duration::ZERO };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{name:<40} {ns:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        c.bench_function("smoke/count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this shim keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations and
+//! `impl Serialize` bounds compiling without pulling in the real crate.
+//! The traits are implemented for *every* type via blanket impls and the
+//! derives are no-ops; actual serialization is provided by the real
+//! `serde`/`serde_json` when the vendored path deps are swapped for
+//! registry versions. `serde_json` in this workspace returns
+//! `Err(Unsupported)` accordingly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`; satisfied by every
+/// type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,37 @@
+//! Offline stub of `serde_json`.
+//!
+//! The vendored `serde` is a marker-trait shim with no data model, so
+//! this crate cannot actually serialize; every entry point returns
+//! [`Error::Unsupported`]. Callers that persist optional JSON artifacts
+//! (e.g. `taurus-bench`'s `save_json`) treat the `Err` as "skip the
+//! sidecar file". Swap the vendored path deps for the real crates to get
+//! genuine JSON output.
+
+use core::fmt;
+
+/// Serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The vendored offline stub cannot serialize.
+    Unsupported,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json is stubbed in this hermetic build; swap vendor/serde_json for the real crate")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Would serialize `value` to compact JSON; the offline stub always
+/// returns [`Error::Unsupported`].
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Err(Error::Unsupported)
+}
+
+/// Would serialize `value` to pretty-printed JSON; the offline stub
+/// always returns [`Error::Unsupported`].
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Err(Error::Unsupported)
+}
