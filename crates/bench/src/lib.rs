@@ -7,6 +7,8 @@
 //! the paper's row/series structure with the published values alongside
 //! our measured ones. `EXPERIMENTS.md` records the comparison.
 
+pub mod json;
+
 use taurus_compiler::{compile, frontend, CompileOptions, GridConfig, GridProgram};
 use taurus_dataset::kdd::{FeatureView, KddGenerator};
 use taurus_dataset::IotGenerator;
@@ -43,6 +45,9 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Writes experiment results as JSON under `results/` for provenance.
+/// With the vendored `serde_json` stub this silently skips the sidecar
+/// file; types with a [`json::ToJson`] impl should prefer
+/// [`save_rendered_json`], which always writes.
 pub fn save_json(name: &str, value: &impl serde::Serialize) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -52,6 +57,18 @@ pub fn save_json(name: &str, value: &impl serde::Serialize) {
     if let Ok(json) = serde_json::to_string_pretty(value) {
         let _ = std::fs::write(path, json);
     }
+}
+
+/// Renders a [`json::ToJson`] value with the deterministic hand-rolled
+/// encoder and writes it under `results/<name>.json`.
+pub fn save_rendered_json(name: &str, value: &impl json::ToJson) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut text = value.to_json().pretty();
+    text.push('\n');
+    let _ = std::fs::write(dir.join(format!("{name}.json")), text);
 }
 
 /// The Table 5 application models, compiled for the default grid:

@@ -10,18 +10,16 @@
 //!
 //! [`FlowTracker`]: taurus_pisa::FlowTracker
 
-use std::collections::HashSet;
-
 use serde::{Deserialize, Serialize};
 use taurus_controlplane::baseline::{run_baseline, BaselineConfig, BaselineReport, PacketSample};
 use taurus_dataset::kdd::KddGenerator;
-use taurus_dataset::trace::{PacketTrace, TraceConfig, TCP_ACK, TCP_SYN};
+use taurus_dataset::trace::{PacketTrace, TraceConfig};
 use taurus_dataset::Standardizer;
 use taurus_ml::BinaryMetrics;
-use taurus_pisa::registers::PacketObs;
 use taurus_pisa::{FlowTracker, Verdict};
 
 use crate::apps::AnomalyDetector;
+use crate::ingest::ObsBuilder;
 use crate::switch::SwitchBuilder;
 
 /// One packet's extracted stream features and ground truth.
@@ -42,32 +40,12 @@ pub struct StreamSample {
 /// see identical inputs — the paper's "full model accuracy" property).
 pub fn extract_stream_features(trace: &PacketTrace) -> Vec<StreamSample> {
     let mut tracker = FlowTracker::new(4096, 5_000_000);
-    let mut seen: HashSet<u32> = HashSet::new();
+    let mut obs_builder = ObsBuilder::new();
     trace
         .packets
         .iter()
         .map(|tp| {
-            let canonical = tp.tuple.canonical();
-            let is_flow_start = seen.insert(tp.conn_id)
-                && (tp.tuple.proto != 6
-                    || tp.tcp_flags & TCP_SYN != 0 && tp.tcp_flags & TCP_ACK == 0);
-            let (resp_ip, resp_port) = if tp.reverse {
-                (tp.tuple.src_ip, tp.tuple.src_port)
-            } else {
-                (tp.tuple.dst_ip, tp.tuple.dst_port)
-            };
-            let obs = PacketObs {
-                flow_key: canonical.hash(),
-                dst_key: u64::from(resp_ip).wrapping_mul(0x9E3779B97F4A7C15),
-                srv_key: (u64::from(resp_ip) << 16 | u64::from(resp_port))
-                    .wrapping_mul(0x9E3779B97F4A7C15),
-                reverse: tp.reverse,
-                is_flow_start,
-                len: tp.len,
-                tcp_flags: tp.tcp_flags,
-                proto: tp.tuple.proto,
-                ts_ns: tp.ts_ns,
-            };
+            let obs = obs_builder.observe(tp);
             let f = tracker.observe(&obs);
             StreamSample {
                 features: f.encode_dnn6().to_vec(),

@@ -1,0 +1,143 @@
+//! Trace → data-plane ingest: the parser-adjacent bookkeeping a switch
+//! front end performs before packets enter any pipeline.
+//!
+//! Two things live here, shared by the sequential switch
+//! ([`crate::switch::TaurusSwitch`]), the e2e harness
+//! ([`crate::e2e::extract_stream_features`]), and the sharded runtime
+//! (`taurus-runtime`):
+//!
+//! - [`to_packet`]: a [`TracePacket`] rendered as the on-the-wire
+//!   [`Packet`] the parser consumes.
+//! - [`ObsBuilder`]: the register-stage observation builder — direction
+//!   from SYN-side bookkeeping, flow start from first-seen, and the
+//!   three register keys (flow / destination-host / destination-service).
+//!
+//! Keeping this logic in one place is what makes "training and the data
+//! plane see identical features" (§5.2.2) checkable: every consumer of a
+//! trace derives [`PacketObs`] the same way.
+
+use std::collections::HashSet;
+
+use taurus_dataset::trace::{TracePacket, TCP_ACK, TCP_SYN};
+use taurus_pisa::registers::PacketObs;
+use taurus_pisa::Packet;
+
+/// Renders a trace packet as the wire packet the parser consumes.
+pub fn to_packet(tp: &TracePacket) -> Packet {
+    let mut p = Packet::tcp(
+        tp.tuple.src_ip,
+        tp.tuple.dst_ip,
+        tp.tuple.src_port,
+        tp.tuple.dst_port,
+        tp.tcp_flags,
+        tp.len,
+    );
+    p.proto = tp.tuple.proto;
+    p.ts_ns = tp.ts_ns;
+    p
+}
+
+/// Builds register-stage observations the way hardware would, tracking
+/// first-seen connections to mark flow starts. Must observe packets in
+/// arrival order; one builder per packet stream.
+#[derive(Debug, Clone, Default)]
+pub struct ObsBuilder {
+    seen_flows: HashSet<u32>,
+}
+
+impl ObsBuilder {
+    /// A fresh builder with no flows seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the observation for one packet: direction from SYN-side
+    /// bookkeeping, flow start from first-seen (TCP flows additionally
+    /// require a bare SYN), keys from the canonical tuple and responder
+    /// endpoint.
+    pub fn observe(&mut self, tp: &TracePacket) -> PacketObs {
+        let canonical = tp.tuple.canonical();
+        let is_flow_start = self.seen_flows.insert(tp.conn_id)
+            && (tp.tuple.proto != 6 || tp.tcp_flags & TCP_SYN != 0 && tp.tcp_flags & TCP_ACK == 0);
+        // The responder is the destination of forward packets.
+        let (resp_ip, resp_port) = if tp.reverse {
+            (tp.tuple.src_ip, tp.tuple.src_port)
+        } else {
+            (tp.tuple.dst_ip, tp.tuple.dst_port)
+        };
+        PacketObs {
+            flow_key: canonical.hash(),
+            dst_key: u64::from(resp_ip).wrapping_mul(0x9E3779B97F4A7C15),
+            srv_key: (u64::from(resp_ip) << 16 | u64::from(resp_port))
+                .wrapping_mul(0x9E3779B97F4A7C15),
+            reverse: tp.reverse,
+            is_flow_start,
+            len: tp.len,
+            tcp_flags: tp.tcp_flags,
+            proto: tp.tuple.proto,
+            ts_ns: tp.ts_ns,
+        }
+    }
+
+    /// Forgets all seen flows (between experiment phases).
+    pub fn reset(&mut self) {
+        self.seen_flows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_dataset::kdd::KddGenerator;
+    use taurus_dataset::trace::{PacketTrace, TraceConfig};
+
+    #[test]
+    fn flow_start_marked_once_per_connection() {
+        let records = KddGenerator::new(91).take(60);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let mut b = ObsBuilder::new();
+        let mut starts = 0usize;
+        for tp in &trace.packets {
+            if b.observe(tp).is_flow_start {
+                starts += 1;
+            }
+        }
+        assert!(starts > 0);
+        assert!(starts <= trace.records.len(), "at most one start per connection");
+        // A second pass over the same stream marks no starts at all.
+        assert!(trace.packets.iter().all(|tp| !b.observe(tp).is_flow_start));
+        b.reset();
+        assert!(b.observe(&trace.packets[0]).is_flow_start || trace.packets[0].tuple.proto == 6);
+    }
+
+    #[test]
+    fn both_directions_share_flow_key_but_not_direction() {
+        let records = KddGenerator::new(92).take(120);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let mut b = ObsBuilder::new();
+        let obs: Vec<_> = trace.packets.iter().map(|tp| (tp, b.observe(tp))).collect();
+        let rev = obs.iter().find(|(tp, _)| tp.reverse).expect("has reverse packets");
+        let fwd = obs
+            .iter()
+            .find(|(tp, _)| !tp.reverse && tp.conn_id == rev.0.conn_id)
+            .expect("same connection seen forward");
+        assert_eq!(fwd.1.flow_key, rev.1.flow_key, "canonical key is direction-free");
+        assert_eq!(fwd.1.dst_key, rev.1.dst_key, "responder key is direction-free");
+        assert!(!fwd.1.reverse && rev.1.reverse);
+    }
+
+    #[test]
+    fn to_packet_preserves_wire_fields() {
+        let records = KddGenerator::new(93).take(40);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        for tp in trace.packets.iter().take(64) {
+            let p = to_packet(tp);
+            assert_eq!(p.src_ip, tp.tuple.src_ip);
+            assert_eq!(p.dst_ip, tp.tuple.dst_ip);
+            assert_eq!(p.proto, tp.tuple.proto);
+            assert_eq!(p.wire_len, tp.len);
+            assert_eq!(p.ts_ns, tp.ts_ns);
+            assert_eq!(p.tcp_flags, tp.tcp_flags);
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //! - [`engine`]: the [`engine::CgraEngine`] adapter that plugs the CGRA
 //!   simulator into a pipeline's inference slot (owns its compiled
 //!   program via `Arc` — no borrow lifetimes).
+//! - [`ingest`]: the trace → data-plane front end ([`ingest::to_packet`]
+//!   and [`ingest::ObsBuilder`]), shared by the sequential switch, the
+//!   e2e harness, and the sharded runtime so every consumer derives
+//!   identical register-stage observations.
 //! - [`switch`]: [`switch::TaurusSwitch`] and [`switch::SwitchBuilder`],
 //!   the public per-packet device API (Fig. 6's full pipeline, bypass
 //!   included), hosting any number of apps side by side.
@@ -45,9 +49,14 @@ pub mod app;
 pub mod apps;
 pub mod e2e;
 pub mod engine;
+pub mod ingest;
 pub mod switch;
 
 pub use app::{BoxedEngine, EngineBackend, FeatureFormatter, TaurusApp, VerdictPolicy};
 pub use apps::{AnomalyDetector, ReactionTime, SynFloodDetector};
 pub use engine::CgraEngine;
-pub use switch::{AppCounters, AppReport, SwitchBuilder, SwitchReport, SwitchResult, TaurusSwitch};
+pub use ingest::ObsBuilder;
+pub use switch::{
+    AppCounters, AppReport, DuplicateAppError, ReportMergeError, SwitchBuilder, SwitchReport,
+    SwitchResult, TaurusSwitch,
+};

@@ -7,18 +7,18 @@
 //! no borrow lifetimes — because engines share compiled programs via
 //! `Arc` ([`crate::engine::CgraEngine`]).
 
-use std::collections::HashSet;
-
-use taurus_dataset::trace::{TracePacket, TCP_ACK, TCP_SYN};
+use serde::{Deserialize, Serialize};
+use taurus_dataset::trace::TracePacket;
 use taurus_pisa::pipeline::PipelineResult;
 use taurus_pisa::registers::PacketObs;
 use taurus_pisa::{Packet, PipelineConfig, TaurusPipeline, Verdict};
 
 use crate::app::{BoxedEngine, EngineBackend, ReactionTime, TaurusApp, VerdictPolicy};
 use crate::apps::AnomalyDetector;
+use crate::ingest::{to_packet, ObsBuilder};
 
 /// Per-app counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct AppCounters {
     /// Packets this app's pipeline processed.
     pub packets: u64,
@@ -30,8 +30,18 @@ pub struct AppCounters {
     pub flagged: u64,
 }
 
+impl AppCounters {
+    /// Adds another counter set into this one (merging shard reports).
+    pub fn absorb(&mut self, other: &AppCounters) {
+        self.packets += other.packets;
+        self.ml_packets += other.ml_packets;
+        self.dropped += other.dropped;
+        self.flagged += other.flagged;
+    }
+}
+
 /// One hosted app's identity and counters, as reported.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AppReport {
     /// The app's [`TaurusApp::name`].
     pub name: String,
@@ -44,7 +54,7 @@ pub struct AppReport {
 }
 
 /// Aggregate switch counters plus the per-app breakdown.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SwitchReport {
     /// Packets processed by the switch.
     pub packets: u64,
@@ -56,6 +66,83 @@ pub struct SwitchReport {
     pub flagged: u64,
     /// Per-app identities and counters, in registration order.
     pub apps: Vec<AppReport>,
+}
+
+/// Why two [`SwitchReport`]s could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportMergeError {
+    /// No reports were supplied to [`SwitchReport::merged`].
+    Empty,
+    /// The app rosters differ (count, order, name, reaction, or policy):
+    /// the reports describe different switch configurations.
+    AppMismatch {
+        /// Index into `apps` where the rosters first diverge (or the
+        /// shorter roster's length).
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for ReportMergeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReportMergeError::Empty => write!(f, "cannot merge an empty set of switch reports"),
+            ReportMergeError::AppMismatch { index } => write!(
+                f,
+                "switch reports host different apps (first divergence at roster index {index}); \
+                 only replicas of the same switch configuration can be merged"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportMergeError {}
+
+impl SwitchReport {
+    /// Merges another replica's report into this one: counters add up,
+    /// app rosters must match exactly (same apps, same order).
+    ///
+    /// # Errors
+    ///
+    /// [`ReportMergeError::AppMismatch`] if the rosters differ — merging
+    /// reports of differently configured switches would be meaningless.
+    pub fn merge(&mut self, other: &SwitchReport) -> Result<(), ReportMergeError> {
+        let divergence = self.apps.iter().zip(&other.apps).position(|(a, b)| {
+            a.name != b.name || a.reaction != b.reaction || a.policy != b.policy
+        });
+        if let Some(index) = divergence {
+            return Err(ReportMergeError::AppMismatch { index });
+        }
+        if self.apps.len() != other.apps.len() {
+            let index = self.apps.len().min(other.apps.len());
+            return Err(ReportMergeError::AppMismatch { index });
+        }
+        self.packets += other.packets;
+        self.ml_packets += other.ml_packets;
+        self.dropped += other.dropped;
+        self.flagged += other.flagged;
+        for (mine, theirs) in self.apps.iter_mut().zip(&other.apps) {
+            mine.counters.absorb(&theirs.counters);
+        }
+        Ok(())
+    }
+
+    /// Merges a set of replica reports into one global report (the
+    /// sharded runtime's merge step).
+    ///
+    /// # Errors
+    ///
+    /// [`ReportMergeError::Empty`] when `reports` yields nothing;
+    /// [`ReportMergeError::AppMismatch`] when rosters differ.
+    pub fn merged<'a>(
+        reports: impl IntoIterator<Item = &'a SwitchReport>,
+    ) -> Result<SwitchReport, ReportMergeError> {
+        let mut it = reports.into_iter();
+        let mut acc = it.next().ok_or(ReportMergeError::Empty)?.clone();
+        for r in it {
+            acc.merge(r)?;
+        }
+        Ok(acc)
+    }
 }
 
 /// Result of pushing one packet through every hosted app.
@@ -100,6 +187,27 @@ pub struct SwitchBuilder {
     apps: Vec<RegisteredApp>,
 }
 
+/// Rejected registration: an app with this name is already hosted on the
+/// switch being built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateAppError {
+    /// The contested [`TaurusApp::name`].
+    pub name: String,
+}
+
+impl core::fmt::Display for DuplicateAppError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "duplicate app name `{}`: every TaurusApp on one switch needs a unique name \
+             (SwitchReport.apps and report merging are keyed by it)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for DuplicateAppError {}
+
 struct RegisteredApp {
     name: String,
     reaction: ReactionTime,
@@ -133,6 +241,12 @@ impl SwitchBuilder {
 
     /// Registers an app on the currently selected backend. The app is
     /// only read, never moved: it can be registered on many switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an app with the same [`TaurusApp::name`] is already
+    /// registered (see [`SwitchBuilder::try_register_on`] for the
+    /// non-panicking form).
     pub fn register(self, app: &dyn TaurusApp) -> Self {
         let backend = self.backend;
         self.register_on(app, backend)
@@ -140,7 +254,32 @@ impl SwitchBuilder {
 
     /// Registers an app on an explicit backend (mix CGRA-simulated and
     /// threshold apps on one switch).
-    pub fn register_on(mut self, app: &dyn TaurusApp, backend: EngineBackend) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if an app with the same [`TaurusApp::name`] is already
+    /// registered (see [`SwitchBuilder::try_register_on`] for the
+    /// non-panicking form).
+    pub fn register_on(self, app: &dyn TaurusApp, backend: EngineBackend) -> Self {
+        self.try_register_on(app, backend).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers an app on an explicit backend, rejecting duplicates.
+    ///
+    /// # Errors
+    ///
+    /// [`DuplicateAppError`] if an app with the same
+    /// [`TaurusApp::name`] is already registered — per-app counters,
+    /// reports, and report merging are keyed by name, so two apps
+    /// sharing one would make [`SwitchReport::apps`] ambiguous.
+    pub fn try_register_on(
+        mut self,
+        app: &dyn TaurusApp,
+        backend: EngineBackend,
+    ) -> Result<Self, DuplicateAppError> {
+        if self.apps.iter().any(|r| r.name == app.name()) {
+            return Err(DuplicateAppError { name: app.name().to_string() });
+        }
         self.apps.push(RegisteredApp {
             name: app.name().to_string(),
             reaction: app.reaction_time(),
@@ -151,7 +290,7 @@ impl SwitchBuilder {
             pre_tables: app.pre_tables(),
             post_tables: app.post_tables(backend),
         });
-        self
+        Ok(self)
     }
 
     /// Builds the switch.
@@ -181,7 +320,7 @@ impl SwitchBuilder {
                 }
             })
             .collect();
-        TaurusSwitch { apps, seen_flows: HashSet::new(), aggregate: AppCounters::default() }
+        TaurusSwitch { apps, obs_builder: ObsBuilder::new(), aggregate: AppCounters::default() }
     }
 }
 
@@ -190,7 +329,7 @@ impl SwitchBuilder {
 /// independent counters and a combined forwarding verdict.
 pub struct TaurusSwitch {
     apps: Vec<HostedApp>,
-    seen_flows: HashSet<u32>,
+    obs_builder: ObsBuilder,
     /// Device-level counters from the *combined* per-packet outcome
     /// (unions across apps — not derivable from per-app counters).
     aggregate: AppCounters,
@@ -206,13 +345,33 @@ impl TaurusSwitch {
     /// Processes one raw packet with its register-stage observation
     /// through every hosted app.
     pub fn process(&mut self, pkt: &Packet, obs: PacketObs) -> SwitchResult {
+        self.run_apps(|app| app.pipeline.process(pkt, obs))
+    }
+
+    /// Processes one raw packet whose cross-flow window counts were
+    /// computed upstream — the sharded runtime's entry point: a shared
+    /// ingest stage runs [`taurus_pisa::CrossFlowWindows`] in global
+    /// arrival order (destination keys are not flow-consistent, so
+    /// per-shard windows would diverge) and hands each shard the counts
+    /// along with the packet.
+    pub fn process_prepared(
+        &mut self,
+        pkt: &Packet,
+        obs: PacketObs,
+        dst_count: u64,
+        srv_count: u64,
+    ) -> SwitchResult {
+        self.run_apps(|app| app.pipeline.process_prepared(pkt, obs, dst_count, srv_count))
+    }
+
+    fn run_apps(&mut self, mut run: impl FnMut(&mut HostedApp) -> PipelineResult) -> SwitchResult {
         self.aggregate.packets += 1;
         let mut verdict = Verdict::Forward;
         let mut latency_ns = 0;
         let mut bypassed = true;
         let mut per_app = Vec::with_capacity(self.apps.len());
         for app in &mut self.apps {
-            let r = app.pipeline.process(pkt, obs);
+            let r = run(app);
             app.counters.packets += 1;
             if !r.bypassed {
                 app.counters.ml_packets += 1;
@@ -242,8 +401,8 @@ impl TaurusSwitch {
 
     /// Processes one trace packet; returns the combined result.
     pub fn process_trace_packet(&mut self, tp: &TracePacket) -> SwitchResult {
-        let pkt = Self::to_packet(tp);
-        let obs = self.observation(tp);
+        let pkt = to_packet(tp);
+        let obs = self.obs_builder.observe(tp);
         self.process(&pkt, obs)
     }
 
@@ -253,7 +412,7 @@ impl TaurusSwitch {
             app.pipeline.reset_state();
             app.counters = AppCounters::default();
         }
-        self.seen_flows.clear();
+        self.obs_builder.reset();
         self.aggregate = AppCounters::default();
     }
 
@@ -288,46 +447,6 @@ impl TaurusSwitch {
     pub fn ml_latency_ns(&self) -> u64 {
         use taurus_pisa::InferenceEngine;
         self.apps.iter().map(|a| a.pipeline.engine().latency_ns()).max().unwrap_or(0)
-    }
-
-    fn to_packet(tp: &TracePacket) -> Packet {
-        let mut p = Packet::tcp(
-            tp.tuple.src_ip,
-            tp.tuple.dst_ip,
-            tp.tuple.src_port,
-            tp.tuple.dst_port,
-            tp.tcp_flags,
-            tp.len,
-        );
-        p.proto = tp.tuple.proto;
-        p.ts_ns = tp.ts_ns;
-        p
-    }
-
-    /// Builds the register-stage observation the way hardware would:
-    /// direction from SYN-side bookkeeping, flow start from first-seen.
-    fn observation(&mut self, tp: &TracePacket) -> PacketObs {
-        let canonical = tp.tuple.canonical();
-        let is_flow_start = self.seen_flows.insert(tp.conn_id)
-            && (tp.tuple.proto != 6 || tp.tcp_flags & TCP_SYN != 0 && tp.tcp_flags & TCP_ACK == 0);
-        // The responder is the destination of forward packets.
-        let (resp_ip, resp_port) = if tp.reverse {
-            (tp.tuple.src_ip, tp.tuple.src_port)
-        } else {
-            (tp.tuple.dst_ip, tp.tuple.dst_port)
-        };
-        PacketObs {
-            flow_key: canonical.hash(),
-            dst_key: u64::from(resp_ip).wrapping_mul(0x9E3779B97F4A7C15),
-            srv_key: (u64::from(resp_ip) << 16 | u64::from(resp_port))
-                .wrapping_mul(0x9E3779B97F4A7C15),
-            reverse: tp.reverse,
-            is_flow_start,
-            len: tp.len,
-            tcp_flags: tp.tcp_flags,
-            proto: tp.tuple.proto,
-            ts_ns: tp.ts_ns,
-        }
     }
 }
 
@@ -449,5 +568,94 @@ mod tests {
     #[should_panic(expected = "at least one TaurusApp")]
     fn build_without_apps_panics() {
         let _ = SwitchBuilder::new().build();
+    }
+
+    #[test]
+    fn try_register_rejects_duplicate_app_names() {
+        let syn = SynFloodDetector::default_deployment();
+        let again = SynFloodDetector::new(10); // different config, same name
+        let b = match SwitchBuilder::new().try_register_on(&syn, EngineBackend::Threshold) {
+            Ok(b) => b,
+            Err(e) => panic!("first registration must succeed: {e}"),
+        };
+        let err = match b.try_register_on(&again, EngineBackend::Threshold) {
+            Ok(_) => panic!("expected duplicate rejection"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "syn-flood");
+        assert!(err.to_string().contains("duplicate app name `syn-flood`"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate app name `syn-flood`")]
+    fn register_panics_on_duplicate_app_names() {
+        let syn = SynFloodDetector::default_deployment();
+        let again = SynFloodDetector::new(10);
+        let _ = SwitchBuilder::new()
+            .register_on(&syn, EngineBackend::Threshold)
+            .register_on(&again, EngineBackend::Threshold);
+    }
+
+    #[test]
+    fn reports_merge_counters_and_reject_mismatched_rosters() {
+        let syn = SynFloodDetector::default_deployment();
+        let detector = AnomalyDetector::train_default(8, 1_000);
+        let build = || {
+            SwitchBuilder::new()
+                .register_on(&detector, EngineBackend::Threshold)
+                .register_on(&syn, EngineBackend::Threshold)
+                .build()
+        };
+        let mut a = build();
+        let mut b = build();
+        let records = KddGenerator::new(16).take(60);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let (left, right) = trace.packets.split_at(trace.packets.len() / 2);
+        for tp in left {
+            a.process_trace_packet(tp);
+        }
+        for tp in right {
+            b.process_trace_packet(tp);
+        }
+        let merged = SwitchReport::merged([&a.report(), &b.report()]).expect("same roster");
+        assert_eq!(merged.packets, trace.packets.len() as u64);
+        assert_eq!(
+            merged.apps[0].counters.packets,
+            a.report().apps[0].counters.packets + b.report().apps[0].counters.packets
+        );
+        assert_eq!(merged.apps[1].name, "syn-flood");
+
+        // Roster mismatch: a single-app switch cannot merge with a two-app one.
+        let single = SwitchBuilder::new().register_on(&syn, EngineBackend::Threshold).build();
+        let err = SwitchReport::merged([&a.report(), &single.report()]).unwrap_err();
+        assert_eq!(err, ReportMergeError::AppMismatch { index: 0 });
+        assert_eq!(SwitchReport::merged([]).unwrap_err(), ReportMergeError::Empty);
+    }
+
+    #[test]
+    fn process_prepared_with_shared_windows_matches_process() {
+        use taurus_pisa::CrossFlowWindows;
+
+        use crate::ingest::{to_packet, ObsBuilder};
+
+        let detector = AnomalyDetector::train_default(9, 1_200);
+        let syn = SynFloodDetector::default_deployment();
+        let build = || SwitchBuilder::new().register(&detector).register(&syn).build();
+        let mut classic = build();
+        let mut split = build();
+
+        let config = PipelineConfig::default();
+        let mut obs_builder = ObsBuilder::new();
+        let mut windows = CrossFlowWindows::new(config.flow_slots, config.window_ns);
+        let records = KddGenerator::new(18).take(120);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        for tp in &trace.packets {
+            let a = classic.process_trace_packet(tp);
+            let obs = obs_builder.observe(tp);
+            let (d, s) = windows.observe(&obs);
+            let b = split.process_prepared(&to_packet(tp), obs, d, s);
+            assert_eq!(a, b);
+        }
+        assert_eq!(classic.report(), split.report());
     }
 }

@@ -293,6 +293,19 @@ impl PacketTrace {
         flags
     }
 
+    /// Iterates the trace in arrival order as fixed-size packet batches
+    /// (the last batch may be short) — the ingest granularity of batched
+    /// runtimes, so drivers never materialize a second copy of the
+    /// trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batches(&self, batch_size: usize) -> core::slice::Chunks<'_, TracePacket> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        self.packets.chunks(batch_size)
+    }
+
     /// Total trace duration in nanoseconds.
     pub fn duration_ns(&self) -> u64 {
         self.packets.last().map_or(0, |p| p.ts_ns)
@@ -425,6 +438,30 @@ mod tests {
     #[should_panic(expected = "empty record set")]
     fn rejects_empty_input() {
         let _ = PacketTrace::expand(vec![], &TraceConfig::default());
+    }
+
+    #[test]
+    fn batches_cover_the_trace_in_order() {
+        let t = trace(120, 20);
+        for size in [1usize, 7, 64, 100_000] {
+            let batches: Vec<_> = t.batches(size).collect();
+            let total: usize = batches.iter().map(|b| b.len()).sum();
+            assert_eq!(total, t.packets.len());
+            // Every batch but the last is exactly `size`.
+            for b in &batches[..batches.len() - 1] {
+                assert_eq!(b.len(), size);
+            }
+            assert!(batches.last().unwrap().len() <= size);
+            let flat: Vec<TracePacket> = batches.concat();
+            assert_eq!(flat, t.packets, "batching preserves arrival order");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn batches_reject_zero_size() {
+        let t = trace(10, 21);
+        let _ = t.batches(0);
     }
 
     #[test]

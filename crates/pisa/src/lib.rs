@@ -38,4 +38,4 @@ pub use pipeline::{
     FeatureFormatter, InferenceEngine, LinearThresholdEngine, PipelineConfig, PipelineResult,
     TaurusPipeline, ThresholdEngine, Verdict,
 };
-pub use registers::{FlowFeatures, FlowTracker, RegisterArray};
+pub use registers::{CrossFlowWindows, FlowFeatures, FlowTracker, PacketObs, RegisterArray};

@@ -222,12 +222,28 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
     /// these from SYN/five-tuple state, and so does this hint builder in
     /// `taurus-core`.
     pub fn process(&mut self, pkt: &Packet, obs_hint: PacketObs) -> PipelineResult {
+        let (dst_count, srv_count) = self.tracker.windows_observe(&obs_hint);
+        self.process_prepared(pkt, obs_hint, dst_count, srv_count)
+    }
+
+    /// Processes one packet whose cross-flow window counts were computed
+    /// upstream (a shared ingest stage running
+    /// [`crate::registers::CrossFlowWindows`] in global arrival order) —
+    /// the entry point sharded runtimes use so per-destination state
+    /// stays coherent across shards.
+    pub fn process_prepared(
+        &mut self,
+        pkt: &Packet,
+        obs_hint: PacketObs,
+        dst_count: u64,
+        srv_count: u64,
+    ) -> PipelineResult {
         self.packets += 1;
         let mut latency = PARSE_LATENCY_NS;
         let mut phv = self.parser.parse(pkt);
 
         // Stateful feature accumulation (register stage).
-        let features = self.tracker.observe(&obs_hint);
+        let features = self.tracker.observe_prepared(&obs_hint, dst_count, srv_count);
         latency += MAT_LATENCY_NS; // register access rides one stage
 
         // Preprocessing MATs: bypass decision and metadata.

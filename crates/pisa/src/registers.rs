@@ -174,6 +174,60 @@ impl WindowCounters {
         let cur = self.current.add(key, 1);
         (cur + self.previous.read(key)).max(0) as u64
     }
+
+    fn read(&self, key: u64) -> u64 {
+        (self.current.read(key) + self.previous.read(key)).max(0) as u64
+    }
+
+    fn clear(&mut self) {
+        self.current.clear();
+        self.previous.clear();
+        self.epoch_start_ns = 0;
+    }
+}
+
+/// The *cross-flow* half of the register stage: destination-host and
+/// destination-service fan-in over a sliding window (the KDD
+/// `count`/`srv_count` features).
+///
+/// Separated from the per-flow arrays because its keys (responder IP /
+/// IP+port) are **not** flow-consistent: flows hashing to different
+/// shards can share a destination. A sharded runtime therefore runs one
+/// `CrossFlowWindows` at ingest, in global packet order, and hands the
+/// resulting counts to the shards via
+/// [`FlowTracker::observe_prepared`] — which is exactly how the paper's
+/// hardware partitions the work (the register stage sits before any
+/// fan-out, so cross-flow state sees every packet in arrival order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossFlowWindows {
+    dst: WindowCounters,
+    srv: WindowCounters,
+}
+
+impl CrossFlowWindows {
+    /// Creates the two window banks with `slots` cells each.
+    pub fn new(slots: usize, window_ns: u64) -> Self {
+        Self {
+            dst: WindowCounters::new("dst", slots, window_ns),
+            srv: WindowCounters::new("srv", slots, window_ns),
+        }
+    }
+
+    /// Observes one packet and returns `(dst_count, srv_count)`: flow
+    /// starts bump the windows, non-starts read them.
+    pub fn observe(&mut self, obs: &PacketObs) -> (u64, u64) {
+        if obs.is_flow_start {
+            (self.dst.observe(obs.dst_key, obs.ts_ns), self.srv.observe(obs.srv_key, obs.ts_ns))
+        } else {
+            (self.dst.read(obs.dst_key), self.srv.read(obs.srv_key))
+        }
+    }
+
+    /// Clears both banks.
+    pub fn clear(&mut self) {
+        self.dst.clear();
+        self.srv.clear();
+    }
 }
 
 /// Per-flow and cross-flow feature state for the data plane.
@@ -185,8 +239,8 @@ pub struct FlowTracker {
     urg_count: RegisterArray,
     syn_count: RegisterArray,
     first_ts: RegisterArray,
-    dst_window: WindowCounters,
-    srv_window: WindowCounters,
+    windows: CrossFlowWindows,
+    window_ns: u64,
 }
 
 /// One packet's worth of observation input to [`FlowTracker::observe`].
@@ -223,14 +277,47 @@ impl FlowTracker {
             urg_count: RegisterArray::new("urg_count", slots),
             syn_count: RegisterArray::new("syn_count", slots),
             first_ts: RegisterArray::new("first_ts", slots),
-            dst_window: WindowCounters::new("dst", slots, window_ns),
-            srv_window: WindowCounters::new("srv", slots, window_ns),
+            windows: CrossFlowWindows::new(slots, window_ns),
+            window_ns,
         }
+    }
+
+    /// Register cells per array — the capacity a sharded runtime must
+    /// preserve per replica (not divide) to keep hash-collision structure,
+    /// and hence features, identical to a single tracker.
+    pub fn slots(&self) -> usize {
+        self.pkt_count.len()
+    }
+
+    /// The cross-flow counting window, ns.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
     }
 
     /// Observes one packet, updating all registers, and returns the
     /// flow's cumulative features as of this packet.
     pub fn observe(&mut self, obs: &PacketObs) -> FlowFeatures {
+        let (dst_count, srv_count) = self.windows_observe(obs);
+        self.observe_prepared(obs, dst_count, srv_count)
+    }
+
+    /// Advances this tracker's own cross-flow windows for one packet and
+    /// returns `(dst_count, srv_count)` ([`FlowTracker::observe`] =
+    /// this + [`FlowTracker::observe_prepared`]).
+    pub fn windows_observe(&mut self, obs: &PacketObs) -> (u64, u64) {
+        self.windows.observe(obs)
+    }
+
+    /// Observes one packet whose cross-flow window counts were computed
+    /// elsewhere (a shared ingest stage running [`CrossFlowWindows`] in
+    /// global arrival order). Updates only flow-local registers — this
+    /// tracker's own windows stay untouched.
+    pub fn observe_prepared(
+        &mut self,
+        obs: &PacketObs,
+        dst_count: u64,
+        srv_count: u64,
+    ) -> FlowFeatures {
         let k = obs.flow_key;
         let packets = self.pkt_count.add(k, 1) as u64;
         let (fwd, rev) = if obs.reverse {
@@ -250,23 +337,6 @@ impl FlowTracker {
             self.first_ts.write(k, obs.ts_ns as i64 + 1);
         }
         let first = (self.first_ts.read(k) - 1).max(0) as u64;
-
-        // Cross-flow windows count *flow starts*, not packets.
-        let (dst_count, srv_count) = if obs.is_flow_start {
-            (
-                self.dst_window.observe(obs.dst_key, obs.ts_ns),
-                self.srv_window.observe(obs.srv_key, obs.ts_ns),
-            )
-        } else {
-            (
-                (self.dst_window.current.read(obs.dst_key)
-                    + self.dst_window.previous.read(obs.dst_key))
-                .max(0) as u64,
-                (self.srv_window.current.read(obs.srv_key)
-                    + self.srv_window.previous.read(obs.srv_key))
-                .max(0) as u64,
-            )
-        };
 
         FlowFeatures {
             duration_ns: obs.ts_ns.saturating_sub(first),
@@ -289,10 +359,7 @@ impl FlowTracker {
         self.urg_count.clear();
         self.syn_count.clear();
         self.first_ts.clear();
-        self.dst_window.current.clear();
-        self.dst_window.previous.clear();
-        self.srv_window.current.clear();
-        self.srv_window.previous.clear();
+        self.windows.clear();
     }
 }
 
@@ -365,6 +432,41 @@ mod tests {
         // Two full windows later the old counts have aged out.
         let f = t.observe(&obs(35, 3_500, 60, 0x02, true, false));
         assert!(f.dst_count <= 2, "old epoch forgotten, got {}", f.dst_count);
+    }
+
+    #[test]
+    fn observe_prepared_with_shared_windows_matches_observe() {
+        // A tracker driven the classic way must equal a tracker fed
+        // window counts from a separate CrossFlowWindows instance — the
+        // factoring the sharded runtime relies on.
+        let mut classic = FlowTracker::new(64, 1_000_000);
+        let mut split = FlowTracker::new(64, 1_000_000);
+        let mut windows = CrossFlowWindows::new(64, 1_000_000);
+        let stream = [
+            obs(1, 1_000, 100, 0x02, true, false),
+            obs(8, 2_000, 60, 0x02, true, false), // collides with flow 1 dst key
+            obs(1, 3_000, 200, 0x10, false, true),
+            obs(15, 2_000_000, 60, 0x02, true, false),
+            obs(1, 2_500_000, 80, 0x10, false, false),
+        ];
+        for o in &stream {
+            let a = classic.observe(o);
+            let (d, s) = windows.observe(o);
+            let b = split.observe_prepared(o, d, s);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn clear_restores_the_freshly_built_state() {
+        let mut t = FlowTracker::new(64, 1_000);
+        for k in 0..6u64 {
+            t.observe(&obs(k, 5_000 + k * 900, 60, 0x02, true, false));
+        }
+        t.clear();
+        assert_eq!(t, FlowTracker::new(64, 1_000), "clear() == fresh tracker");
+        assert_eq!(t.slots(), 64);
+        assert_eq!(t.window_ns(), 1_000);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! # taurus-runtime — the sharded multi-core switch runtime
+//!
+//! The paper's Taurus device processes every packet through per-packet
+//! ML at line rate; one simulated [`TaurusSwitch`] on one thread cannot
+//! come close. This crate is the execution layer above the single
+//! device: it hosts **N independent switch replicas** (one per worker
+//! thread), routes packets by **flow-consistent hashing**
+//! (`canonical().hash() % shards`, so per-flow register state stays
+//! coherent within one shard), feeds workers **fixed-size batches over
+//! bounded SPSC channels** ([`spsc`]), and **merges** the per-shard
+//! [`SwitchReport`]s into one global report.
+//!
+//! The load-bearing property is *exactness*: on the same trace, the
+//! merged report equals the sequential switch's report bit for bit —
+//! counters, drops, flags (see [`runtime`] module docs for why, and
+//! `tests/determinism.rs` for the pinning suite). Parallelism changes
+//! the wall clock, never the semantics.
+//!
+//! ```
+//! use taurus_core::apps::SynFloodDetector;
+//! use taurus_core::EngineBackend;
+//! use taurus_dataset::kdd::KddGenerator;
+//! use taurus_dataset::trace::{PacketTrace, TraceConfig};
+//! use taurus_runtime::RuntimeBuilder;
+//!
+//! let syn = SynFloodDetector::default_deployment();
+//! let mut runtime = RuntimeBuilder::new()
+//!     .shards(4)
+//!     .batch_size(32)
+//!     .register_on(&syn, EngineBackend::Threshold)
+//!     .build();
+//!
+//! let records = KddGenerator::new(7).take(100);
+//! let trace = PacketTrace::expand(records, &TraceConfig::default());
+//! let report = runtime.run_trace(&trace);
+//! assert_eq!(report.merged.packets, trace.packets.len() as u64);
+//! ```
+//!
+//! [`TaurusSwitch`]: taurus_core::TaurusSwitch
+//! [`SwitchReport`]: taurus_core::SwitchReport
+
+pub mod runtime;
+pub mod spsc;
+
+pub use runtime::{
+    shard_of, PreparedPacket, RuntimeBuilder, RuntimeReport, ShardStats, ShardedRuntime,
+};

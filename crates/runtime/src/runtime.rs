@@ -1,0 +1,585 @@
+//! The sharded runtime: N [`TaurusSwitch`] replicas on worker threads,
+//! fed fixed-size packet batches over bounded SPSC channels by a single
+//! ingest stage that owns everything order-sensitive.
+//!
+//! # Why this partitioning is exact
+//!
+//! A packet's verdict depends on three kinds of register state:
+//!
+//! 1. **Per-flow registers** (bytes, packets, flags), keyed by the
+//!    canonical five-tuple hash. Packets are routed by that same hash
+//!    (`canonical().hash() % shards`), so a flow's packets always land
+//!    on one shard — and because every shard keeps the *full*
+//!    `flow_slots` register capacity and the shard count divides it,
+//!    two flows that collide in a register slot (`k₁ ≡ k₂ mod slots`)
+//!    also collide in the shard index (`k₁ ≡ k₂ mod shards`). Collision
+//!    structure, and therefore every per-flow feature, is bit-identical
+//!    to the sequential switch.
+//! 2. **Cross-flow windows** (destination-host / destination-service
+//!    fan-in), keyed by the responder — *not* flow-consistent. The
+//!    ingest stage runs the one [`CrossFlowWindows`] instance in global
+//!    arrival order and ships each packet's counts inside its batch
+//!    entry, exactly as the paper's hardware computes register features
+//!    before any egress fan-out.
+//! 3. **Flow-start bookkeeping** ([`ObsBuilder`]), also sequential at
+//!    ingest.
+//!
+//! Workers therefore run pure flow-local computation (MATs + MapReduce
+//! inference — the expensive part) in parallel, and the merged report
+//! equals the sequential switch's report exactly. The determinism test
+//! suite (`tests/determinism.rs`) pins this for shard counts 1/2/4/8.
+
+use serde::{Deserialize, Serialize};
+use taurus_core::ingest::{to_packet, ObsBuilder};
+use taurus_core::{EngineBackend, SwitchBuilder, SwitchReport, TaurusApp, TaurusSwitch};
+use taurus_dataset::trace::{PacketTrace, TracePacket};
+use taurus_pisa::registers::PacketObs;
+use taurus_pisa::{CrossFlowWindows, Packet, PipelineConfig};
+
+use crate::spsc;
+
+/// One packet as it crosses an ingest→worker channel: the wire packet,
+/// its register-stage observation, and the globally ordered cross-flow
+/// window counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedPacket {
+    /// The parsed-from wire form.
+    pub pkt: Packet,
+    /// Register-stage observation (keys, direction, flow start).
+    pub obs: PacketObs,
+    /// Destination-host fan-in at this packet, from the shared windows.
+    pub dst_count: u64,
+    /// Destination-service fan-in at this packet.
+    pub srv_count: u64,
+}
+
+/// The home shard for a flow key: `canonical().hash() % shards`.
+pub fn shard_of(flow_key: u64, shards: usize) -> usize {
+    (flow_key % shards as u64) as usize
+}
+
+/// Builds a [`ShardedRuntime`]: shard/batch/queue geometry plus the app
+/// roster, forwarded to every replica's [`SwitchBuilder`].
+///
+/// ```
+/// use taurus_core::apps::SynFloodDetector;
+/// use taurus_core::EngineBackend;
+/// use taurus_runtime::RuntimeBuilder;
+///
+/// let syn = SynFloodDetector::default_deployment();
+/// let runtime = RuntimeBuilder::new()
+///     .shards(4)
+///     .batch_size(32)
+///     .register_on(&syn, EngineBackend::Threshold)
+///     .build();
+/// assert_eq!(runtime.shard_count(), 4);
+/// ```
+pub struct RuntimeBuilder<'a> {
+    shards: usize,
+    batch_size: usize,
+    queue_depth: usize,
+    config: PipelineConfig,
+    backend: EngineBackend,
+    shard_flow_slots: Option<usize>,
+    apps: Vec<(&'a dyn TaurusApp, EngineBackend)>,
+}
+
+impl Default for RuntimeBuilder<'_> {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            batch_size: 64,
+            queue_depth: 4,
+            config: PipelineConfig::default(),
+            backend: EngineBackend::default(),
+            shard_flow_slots: None,
+            apps: Vec::new(),
+        }
+    }
+}
+
+impl<'a> RuntimeBuilder<'a> {
+    /// Starts a builder: 1 shard, batches of 64, queue depth 4, default
+    /// pipeline config, CGRA simulator backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of switch replicas / worker threads.
+    ///
+    /// Exact equivalence with the sequential switch requires this to
+    /// divide the pipeline's `flow_slots` (the default 4096 covers
+    /// every power of two up to 4096) so register collisions stay
+    /// shard-local; [`RuntimeBuilder::build`] enforces it unless
+    /// [`RuntimeBuilder::shard_flow_slots`] opted out of exactness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "a runtime needs at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Packets per ingest→worker batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "batch_size must be positive");
+        self.batch_size = n;
+        self
+    }
+
+    /// Bounded channel depth, in batches, per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        assert!(n > 0, "queue_depth must be positive");
+        self.queue_depth = n;
+        self
+    }
+
+    /// Pipeline configuration shared by every replica (and by the
+    /// ingest stage's cross-flow windows).
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Engine backend for subsequently registered apps.
+    pub fn backend(mut self, backend: EngineBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides each replica's per-flow register capacity (the
+    /// [`taurus_pisa::FlowTracker`] sizing hook). By default every shard
+    /// keeps the full `flow_slots` so collision structure — and thus
+    /// features — match the sequential switch exactly; shrinking this
+    /// (e.g. to `flow_slots / shards`) trades that exactness for
+    /// memory proportionality.
+    pub fn shard_flow_slots(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "shard_flow_slots must be positive");
+        self.shard_flow_slots = Some(slots);
+        self
+    }
+
+    /// Registers an app on the currently selected backend; it will be
+    /// hosted by every replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`RuntimeBuilder::build`] if two apps share a name
+    /// (see [`SwitchBuilder::try_register_on`]).
+    pub fn register(mut self, app: &'a dyn TaurusApp) -> Self {
+        self.apps.push((app, self.backend));
+        self
+    }
+
+    /// Registers an app on an explicit backend.
+    pub fn register_on(mut self, app: &'a dyn TaurusApp, backend: EngineBackend) -> Self {
+        self.apps.push((app, backend));
+        self
+    }
+
+    /// Builds the runtime: one [`TaurusSwitch`] per shard, each hosting
+    /// the full app roster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no app was registered, if two registered apps share a
+    /// name, or if the shard count does not divide `flow_slots` while
+    /// exactness is promised (no [`RuntimeBuilder::shard_flow_slots`]
+    /// override) — a non-dividing count would silently split register
+    /// collisions across shards and break the bit-for-bit guarantee.
+    pub fn build(self) -> ShardedRuntime {
+        assert!(!self.apps.is_empty(), "register at least one TaurusApp before build()");
+        if self.shard_flow_slots.is_none() {
+            assert!(
+                self.config.flow_slots.is_multiple_of(self.shards),
+                "shard count {} must divide flow_slots {} for exact sharding; use a \
+                 power-of-two shard count, adjust PipelineConfig.flow_slots, or opt out of \
+                 exactness with shard_flow_slots()",
+                self.shards,
+                self.config.flow_slots
+            );
+        }
+        let replica_config = PipelineConfig {
+            flow_slots: self.shard_flow_slots.unwrap_or(self.config.flow_slots),
+            ..self.config.clone()
+        };
+        let switches = (0..self.shards)
+            .map(|_| {
+                self.apps
+                    .iter()
+                    .fold(SwitchBuilder::new().config(replica_config.clone()), |b, &(app, be)| {
+                        b.register_on(app, be)
+                    })
+                    .build()
+            })
+            .collect();
+        ShardedRuntime {
+            switches,
+            batch_size: self.batch_size,
+            queue_depth: self.queue_depth,
+            obs_builder: ObsBuilder::new(),
+            windows: CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
+        }
+    }
+}
+
+/// Per-shard outcome of a run: routing stats plus the replica's report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Packets this shard's worker processed during the last run.
+    pub packets: u64,
+    /// Batches it received during the last run.
+    pub batches: u64,
+    /// The replica's cumulative [`SwitchReport`].
+    pub report: SwitchReport,
+}
+
+/// Merged outcome of a sharded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// The global report: per-shard reports merged by
+    /// [`SwitchReport::merged`]. Equals the sequential switch's report
+    /// on the same stream (see crate docs for the conditions).
+    pub merged: SwitchReport,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl RuntimeReport {
+    /// Packets routed in the run this report describes (per-run, unlike
+    /// `merged.packets`, which accumulates across runs on a long-lived
+    /// runtime).
+    fn run_packets(&self) -> u64 {
+        self.shards.iter().map(|s| s.packets).sum()
+    }
+
+    /// Load-balance quality in `(0, 1]`: mean shard load over max shard
+    /// load (1.0 = perfectly even). Returns 1.0 for an empty run.
+    pub fn balance(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.packets).max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let mean = self.run_packets() as f64 / self.shards.len() as f64;
+        mean / max as f64
+    }
+
+    /// Modeled device throughput in packets/sec: with every shard an
+    /// independent pipeline sustaining `per_shard_pps` (clock / II), the
+    /// stream drains when the most loaded shard finishes, so the device
+    /// rate is `per_shard_pps × packets / max_shard_packets` — linear in
+    /// shard count up to the load-balance factor.
+    pub fn modeled_pps(&self, per_shard_pps: f64) -> f64 {
+        let max = self.shards.iter().map(|s| s.packets).max().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        per_shard_pps * self.run_packets() as f64 / max as f64
+    }
+}
+
+/// A sharded, batched multi-core host for [`TaurusSwitch`] replicas.
+///
+/// Flow state is long-lived: like a [`TaurusSwitch`], successive runs
+/// accumulate registers, flow-start bookkeeping, and counters; call
+/// [`ShardedRuntime::reset`] between independent experiments.
+pub struct ShardedRuntime {
+    switches: Vec<TaurusSwitch>,
+    batch_size: usize,
+    queue_depth: usize,
+    obs_builder: ObsBuilder,
+    windows: CrossFlowWindows,
+}
+
+impl ShardedRuntime {
+    /// Number of shards (switch replicas / worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Packets per ingest batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Runs a whole trace through the runtime; see
+    /// [`ShardedRuntime::run_packets`].
+    pub fn run_trace(&mut self, trace: &PacketTrace) -> RuntimeReport {
+        self.run_packets(&trace.packets)
+    }
+
+    /// Drives a packet stream through the sharded data plane: the
+    /// calling thread ingests (observations, shared cross-flow windows,
+    /// flow-consistent routing, batching), one worker thread per shard
+    /// executes its replica, and the per-shard reports are merged.
+    ///
+    /// Packets must be in arrival order (as [`PacketTrace`] guarantees).
+    pub fn run_packets(&mut self, packets: &[TracePacket]) -> RuntimeReport {
+        let shards = self.switches.len();
+        let batch_size = self.batch_size;
+        let queue_depth = self.queue_depth;
+        // Split borrows: workers own the switches, ingest owns the rest.
+        let Self { switches, obs_builder, windows, .. } = self;
+        let mut worker_stats = vec![(0u64, 0u64); shards];
+        std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for switch in switches.iter_mut() {
+                let (tx, rx) = spsc::channel::<Vec<PreparedPacket>>(queue_depth);
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut processed = 0u64;
+                    let mut batches = 0u64;
+                    while let Ok(batch) = rx.recv() {
+                        batches += 1;
+                        for p in &batch {
+                            switch.process_prepared(&p.pkt, p.obs, p.dst_count, p.srv_count);
+                            processed += 1;
+                        }
+                    }
+                    (processed, batches)
+                }));
+            }
+
+            let mut staging: Vec<Vec<PreparedPacket>> =
+                (0..shards).map(|_| Vec::with_capacity(batch_size)).collect();
+            'ingest: for tp in packets {
+                let obs = obs_builder.observe(tp);
+                let (dst_count, srv_count) = windows.observe(&obs);
+                let shard = shard_of(obs.flow_key, shards);
+                staging[shard].push(PreparedPacket {
+                    pkt: to_packet(tp),
+                    obs,
+                    dst_count,
+                    srv_count,
+                });
+                if staging[shard].len() == batch_size {
+                    let batch =
+                        std::mem::replace(&mut staging[shard], Vec::with_capacity(batch_size));
+                    if senders[shard].send(batch).is_err() {
+                        // The worker died; stop feeding and surface its
+                        // panic at join below.
+                        break 'ingest;
+                    }
+                }
+            }
+            for (shard, batch) in staging.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    let _ = senders[shard].send(batch);
+                }
+            }
+            drop(senders); // close the channels: workers drain and exit
+            for (i, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(stats) => worker_stats[i] = stats,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        let shards: Vec<ShardStats> = self
+            .switches
+            .iter()
+            .zip(worker_stats)
+            .enumerate()
+            .map(|(shard, (switch, (packets, batches)))| ShardStats {
+                shard,
+                packets,
+                batches,
+                report: switch.report(),
+            })
+            .collect();
+        let merged = SwitchReport::merged(shards.iter().map(|s| &s.report))
+            .expect("replicas share one roster by construction");
+        RuntimeReport { merged, shards }
+    }
+
+    /// Clears every replica's flow state and counters plus the shared
+    /// ingest state — the runtime equals a freshly built one.
+    pub fn reset(&mut self) {
+        for switch in &mut self.switches {
+            switch.reset();
+        }
+        self.obs_builder.reset();
+        self.windows.clear();
+    }
+}
+
+impl core::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("shards", &self.switches.len())
+            .field("batch_size", &self.batch_size)
+            .field("queue_depth", &self.queue_depth)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_core::apps::SynFloodDetector;
+    use taurus_dataset::kdd::KddGenerator;
+    use taurus_dataset::trace::TraceConfig;
+
+    fn trace(n: usize, seed: u64) -> PacketTrace {
+        let records = KddGenerator::new(seed).take(n);
+        PacketTrace::expand(records, &TraceConfig { seed, ..TraceConfig::default() })
+    }
+
+    #[test]
+    fn shard_of_is_total_and_stable() {
+        for key in [0u64, 1, 4095, u64::MAX] {
+            for shards in 1..=8 {
+                assert!(shard_of(key, shards) < shards);
+                assert_eq!(shard_of(key, shards), shard_of(key, shards));
+            }
+            assert_eq!(shard_of(key, 1), 0, "one shard hosts everything");
+        }
+    }
+
+    #[test]
+    fn runtime_processes_every_packet_exactly_once() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(200, 31);
+        let mut rt = RuntimeBuilder::new()
+            .shards(4)
+            .batch_size(16)
+            .register_on(&syn, EngineBackend::Threshold)
+            .build();
+        let report = rt.run_trace(&t);
+        assert_eq!(report.merged.packets, t.packets.len() as u64);
+        let routed: u64 = report.shards.iter().map(|s| s.packets).sum();
+        assert_eq!(routed, t.packets.len() as u64);
+        assert!(report.shards.iter().all(|s| s.packets > 0), "all shards saw traffic");
+        assert!(report.balance() > 0.5, "hash balance {}", report.balance());
+        // Batch accounting: every routed packet arrived inside a batch of
+        // at most `batch_size`.
+        for s in &report.shards {
+            assert!(s.batches >= s.packets.div_ceil(16));
+        }
+    }
+
+    #[test]
+    fn a_flow_never_splits_across_shards() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(150, 32);
+        let _ = syn; // roster irrelevant here; we check the routing rule
+        for tp in &t.packets {
+            let key = tp.tuple.canonical().hash();
+            let rev_key = tp.tuple.reversed().canonical().hash();
+            for shards in [2usize, 4, 8] {
+                assert_eq!(
+                    shard_of(key, shards),
+                    shard_of(rev_key, shards),
+                    "both directions share a home shard"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_runtime() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(80, 33);
+        let mut rt =
+            RuntimeBuilder::new().shards(2).register_on(&syn, EngineBackend::Threshold).build();
+        let first = rt.run_trace(&t);
+        rt.reset();
+        let second = rt.run_trace(&t);
+        assert_eq!(first, second, "reset() makes runs reproducible");
+    }
+
+    #[test]
+    fn balance_and_modeled_pps_are_per_run_on_a_long_lived_runtime() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(100, 34);
+        let mut rt = RuntimeBuilder::new()
+            .shards(4)
+            .backend(EngineBackend::Threshold)
+            .register(&syn)
+            .build();
+        let first = rt.run_trace(&t);
+        // Second run WITHOUT reset: replica reports accumulate, but
+        // routing stats — and the metrics derived from them — are
+        // per-run.
+        let second = rt.run_trace(&t);
+        assert_eq!(second.merged.packets, 2 * first.merged.packets, "reports accumulate");
+        for (a, b) in first.shards.iter().zip(&second.shards) {
+            assert_eq!(a.packets, b.packets, "same trace routes identically");
+        }
+        assert!(second.balance() <= 1.0, "balance stays in (0,1]: {}", second.balance());
+        assert_eq!(second.balance(), first.balance());
+        assert_eq!(second.modeled_pps(1e9), first.modeled_pps(1e9));
+    }
+
+    #[test]
+    fn modeled_pps_scales_with_balance() {
+        let report = RuntimeReport {
+            merged: SwitchReport { packets: 100, ..SwitchReport::default() },
+            shards: (0..4)
+                .map(|shard| ShardStats {
+                    shard,
+                    packets: 25,
+                    batches: 1,
+                    report: SwitchReport::default(),
+                })
+                .collect(),
+        };
+        assert_eq!(report.balance(), 1.0);
+        assert_eq!(report.modeled_pps(1e9), 4e9, "4 balanced shards = 4x line rate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one TaurusApp")]
+    fn build_without_apps_panics() {
+        let _ = RuntimeBuilder::new().shards(2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide flow_slots")]
+    fn non_dividing_shard_count_rejected_when_exactness_is_promised() {
+        let syn = SynFloodDetector::default_deployment();
+        let _ = RuntimeBuilder::new()
+            .shards(3) // 3 does not divide the default 4096 slots
+            .register_on(&syn, EngineBackend::Threshold)
+            .build();
+    }
+
+    #[test]
+    fn shard_flow_slots_opts_out_of_the_divisibility_check() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(60, 35);
+        let mut rt = RuntimeBuilder::new()
+            .shards(3)
+            .shard_flow_slots(2048) // explicit opt-out: approximate sharding
+            .backend(EngineBackend::Threshold)
+            .register(&syn)
+            .build();
+        let report = rt.run_trace(&t);
+        assert_eq!(report.merged.packets, t.packets.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate app name")]
+    fn duplicate_roster_rejected_at_build() {
+        let a = SynFloodDetector::default_deployment();
+        let b = SynFloodDetector::new(9);
+        let _ = RuntimeBuilder::new()
+            .register_on(&a, EngineBackend::Threshold)
+            .register_on(&b, EngineBackend::Threshold)
+            .build();
+    }
+}

@@ -1,0 +1,210 @@
+//! A bounded single-producer / single-consumer channel.
+//!
+//! The runtime's ingest thread feeds each worker over exactly one of
+//! these: bounded so a slow shard back-pressures ingest instead of
+//! ballooning memory (the software analogue of a switch's ingress
+//! queues), SPSC because routing is deterministic — every packet has
+//! exactly one home shard.
+//!
+//! Implemented on `Mutex<VecDeque>` + two condvars rather than a
+//! lock-free ring: the payload is a whole packet batch, so the channel
+//! is traversed once per *batch*, not per packet, and lock cost is
+//! amortized away. Endpoints are deliberately `!Clone`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The send half failed because the receiver is gone; returns the
+/// unsent value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// The receive half failed because the channel is empty and the sender
+/// is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+struct State<T> {
+    buf: VecDeque<T>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The producing endpoint. Dropping it closes the channel: the receiver
+/// drains what was sent, then sees [`RecvError`].
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming endpoint. Dropping it makes further sends fail fast.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC channel holding at most `capacity` in-flight
+/// items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (a zero-depth queue would deadlock the
+/// non-rendezvous protocol).
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "spsc channel capacity must be positive");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(capacity),
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Sends one item, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] carrying the item back if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            if state.buf.len() < self.shared.capacity {
+                state.buf.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).expect("spsc lock poisoned");
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] once the channel is empty *and* the sender was
+    /// dropped — in-flight items are always drained first.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        loop {
+            if let Some(v) = state.buf.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if !state.sender_alive {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).expect("spsc lock poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        state.sender_alive = false;
+        drop(state);
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        state.receiver_alive = false;
+        state.buf.clear(); // sender's items will never be consumed
+        drop(state);
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (tx, rx) = channel(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn drained_then_closed() {
+        let (tx, rx) = channel(8);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        assert_eq!(rx.recv(), Err(RecvError), "closed after drain");
+    }
+
+    #[test]
+    fn send_fails_once_receiver_is_gone() {
+        let (tx, rx) = channel(2);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_receiver_drains() {
+        let (tx, rx) = channel(1);
+        tx.send(0u64).unwrap();
+        let producer = thread::spawn(move || {
+            // This second send must block until the consumer pops.
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cross_thread_stress_preserves_order() {
+        let (tx, rx) = channel(3);
+        let n = 10_000u64;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+        });
+        for expect in 0..n {
+            assert_eq!(rx.recv(), Ok(expect));
+        }
+        assert_eq!(rx.recv(), Err(RecvError));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = channel::<u8>(0);
+    }
+}

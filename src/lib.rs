@@ -36,3 +36,4 @@ pub use taurus_hw_model as hw_model;
 pub use taurus_ir as ir;
 pub use taurus_ml as ml;
 pub use taurus_pisa as pisa;
+pub use taurus_runtime as runtime;
