@@ -9,9 +9,11 @@
 //! anywhere, so the same run produces the same bytes.
 
 use taurus_controlplane::baseline::BaselineReport;
+use taurus_controlplane::training::ConvergencePoint;
 use taurus_core::e2e::{Table8Row, TaurusEvalReport};
 use taurus_core::{AppCounters, AppReport, ReactionTime, SwitchReport, VerdictPolicy};
-use taurus_runtime::{RuntimeReport, ShardStats};
+use taurus_ml::BinaryMetrics;
+use taurus_runtime::{DeploymentReport, DeploymentRound, RuntimeReport, ShardStats};
 
 /// A JSON value tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -245,9 +247,59 @@ impl ToJson for ShardStats {
     }
 }
 
+impl ToJson for BinaryMetrics {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("tp", Json::UInt(self.tp)),
+            ("fp", Json::UInt(self.fp)),
+            ("tn", Json::UInt(self.tn)),
+            ("fn", Json::UInt(self.fn_)),
+            ("f1_percent", Json::Float(self.f1_percent())),
+            ("detected_pct", Json::Float(self.detected_percent())),
+        ])
+    }
+}
+
 impl ToJson for RuntimeReport {
     fn to_json(&self) -> Json {
-        Json::Object(vec![("merged", self.merged.to_json()), ("shards", self.shards.to_json())])
+        Json::Object(vec![
+            ("merged", self.merged.to_json()),
+            ("shards", self.shards.to_json()),
+            ("segments", self.segments.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ConvergencePoint {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("time_s", Json::Float(self.time_s)),
+            ("f1_percent", Json::Float(self.f1_percent)),
+        ])
+    }
+}
+
+impl ToJson for DeploymentRound {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("round", Json::UInt(self.round as u64)),
+            ("version", Json::UInt(self.version)),
+            ("triggered_at_packet", Json::UInt(self.triggered_at_packet)),
+            ("installed_at_packet", Json::UInt(self.installed_at_packet)),
+            ("install_time_s", Json::Float(self.install_time_s)),
+            ("train_loss", Json::Float(f64::from(self.train_loss))),
+        ])
+    }
+}
+
+impl ToJson for DeploymentReport {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("curve", self.curve.to_json()),
+            ("rounds", self.rounds.to_json()),
+            ("final_version", Json::UInt(self.final_version)),
+            ("runtime", self.runtime.to_json()),
+        ])
     }
 }
 

@@ -53,9 +53,26 @@ pub enum VerdictPolicy {
     Observe,
 }
 
+/// An inference engine as hosted on a switch: inference plus the
+/// downcast hook live model updates use to reach the concrete engine
+/// (program swap on [`crate::engine::CgraEngine`], in-place threshold
+/// edits on the heuristic engines). Implemented automatically for every
+/// `InferenceEngine + Send + 'static` type.
+pub trait SwitchEngine: InferenceEngine + Send {
+    /// The engine as [`Any`], so [`crate::update::ModelUpdate`]
+    /// installation can downcast to the concrete backend type.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<E: InferenceEngine + Send + 'static> SwitchEngine for E {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 /// A type-erased inference engine, so one switch hosts heterogeneous
 /// backends.
-pub type BoxedEngine = Box<dyn InferenceEngine + Send>;
+pub type BoxedEngine = Box<dyn SwitchEngine>;
 
 pub use taurus_pisa::pipeline::FeatureFormatter;
 

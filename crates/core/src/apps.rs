@@ -15,6 +15,7 @@ use taurus_pisa::mat::MatchTable;
 use taurus_pisa::pipeline::{anomaly_post_table, proto_select_table};
 
 use crate::app::{EngineBackend, FeatureFormatter, TaurusApp, VerdictPolicy};
+use crate::update::{EngineUpdate, FormatterFactory, ModelUpdate};
 
 /// Reaction-time classes from Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -170,6 +171,60 @@ impl AnomalyDetector {
     pub fn weight_bytes(&self) -> usize {
         self.quantized.weight_bytes()
     }
+
+    /// Prepares a live [`ModelUpdate`] from a retrained float model —
+    /// the control-plane half of §5.2.3's weight-install path, done
+    /// *once* per update regardless of replica count:
+    ///
+    /// 1. post-training int8 quantization against `calibration`
+    ///    (**standardized** feature rows — typically the sample buffer
+    ///    the round trained on, the only data the control plane has),
+    /// 2. lowering + compilation into a fresh [`GridProgram`] shared via
+    ///    `Arc` by every replica that installs the update,
+    /// 3. a new feature-formatter factory (the model's input
+    ///    quantization range moved with the weights) and a new verdict
+    ///    MAT (the quantized 0.5 cutoff lives in the new output range).
+    ///
+    /// The detector itself is not mutated; it describes the deployment
+    /// (name, standardizer, pipeline shape) while the update carries the
+    /// new model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty, has non-6-wide rows, or the
+    /// model does not fit the default grid (the AD DNN always does).
+    pub fn prepare_update(
+        &self,
+        model: &Mlp,
+        calibration: &[Vec<f32>],
+        version: u64,
+    ) -> ModelUpdate {
+        let quantized = QuantizedMlp::quantize(model, calibration);
+        let graph = frontend::mlp_to_graph(&quantized);
+        let program = Arc::new(
+            compile(&graph, &GridConfig::default(), &CompileOptions::default())
+                .expect("AD DNN fits the default grid"),
+        );
+        let threshold_code = i64::from(quantized.output_params().quantize(0.5));
+        let standardizer = self.standardizer.clone();
+        let params = quantized.input_params();
+        let formatter: FormatterFactory = Arc::new(move || {
+            let standardizer = standardizer.clone();
+            Box::new(move |f: &taurus_pisa::registers::FlowFeatures| {
+                let mut row = f.encode_dnn6().to_vec();
+                standardizer.apply_row(&mut row);
+                row.iter().map(|&v| i32::from(params.quantize(v))).collect()
+            })
+        });
+        ModelUpdate {
+            app: self.name().to_string(),
+            version,
+            weights: Some(model.export_weights()),
+            engine: EngineUpdate::Program(program),
+            formatter: Some(formatter),
+            post_tables: Some(vec![anomaly_post_table(threshold_code)]),
+        }
+    }
 }
 
 impl TaurusApp for AnomalyDetector {
@@ -248,6 +303,36 @@ impl SynFloodDetector {
     /// clears a burst of ~8 bare SYNs with fan-in.
     pub fn default_deployment() -> Self {
         Self::new(40)
+    }
+
+    /// Prepares a live threshold retune for a deployment on `backend`.
+    /// The linear scorer's weights stay put; only the drop cutoff moves,
+    /// which lands in different places per backend: the CGRA deployment
+    /// thresholds in the postprocessing MAT (the engine emits raw
+    /// scores), while the heuristic backend thresholds inside
+    /// [`taurus_pisa::LinearThresholdEngine`] itself (updated in
+    /// place) and its MAT keys on the resulting 0/1.
+    pub fn retune(&self, threshold: i64, version: u64, backend: EngineBackend) -> ModelUpdate {
+        match backend {
+            // Re-assert the (unchanged) compiled program rather than
+            // `KeepEngine`: the raw-score post MAT below is only
+            // meaningful against a CGRA engine, and the program swap's
+            // downcast check turns a backend mix-up into a loud
+            // `BackendMismatch` instead of a silently dead cutoff.
+            EngineBackend::CgraSim => ModelUpdate {
+                app: self.name().to_string(),
+                version,
+                weights: None,
+                engine: EngineUpdate::Program(Arc::clone(&self.program)),
+                formatter: None,
+                post_tables: Some(vec![anomaly_post_table(threshold)]),
+            },
+            // The engine fires strictly above its cutoff; the MAT fires
+            // at >= threshold. Same off-by-one as build_engine.
+            EngineBackend::Threshold => {
+                ModelUpdate::retune_threshold(self.name(), version, threshold - 1)
+            }
+        }
     }
 }
 

@@ -64,7 +64,15 @@ pub fn build_detector_from_trace(seed: u64, n_train_records: usize) -> AnomalyDe
     let records = KddGenerator::new(seed).take(n_train_records);
     let trace =
         PacketTrace::expand(records, &TraceConfig { seed: seed ^ 0x70, ..Default::default() });
-    let samples = extract_stream_features(&trace);
+    build_detector_from_packets(&trace, seed)
+}
+
+/// Trains the anomaly detector from an explicit training trace — the
+/// same every-3rd-packet decorrelation, standardization, and 80/20
+/// split as [`build_detector_from_trace`], for callers that shape their
+/// own workload (e.g. non-default class priors or offered rates).
+pub fn build_detector_from_packets(trace: &PacketTrace, seed: u64) -> AnomalyDetector {
+    let samples = extract_stream_features(trace);
     // Decorrelate: take every 3rd packet for training.
     let xs: Vec<Vec<f32>> = samples.iter().step_by(3).map(|s| s.features.clone()).collect();
     let ys: Vec<usize> = samples.iter().step_by(3).map(|s| usize::from(s.anomalous)).collect();

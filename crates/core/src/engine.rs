@@ -36,6 +36,18 @@ impl CgraEngine {
         self.invocations
     }
 
+    /// Hot-swaps the compiled program (a live model update): the shared
+    /// handle is retargeted at the new compilation and a fresh simulator
+    /// is built around it, exactly as if the grid's weight memories were
+    /// rewritten. Persistent model state (e.g. MU-resident recurrent
+    /// state) restarts zeroed — it was computed under the old weights —
+    /// while the invocation counter, which describes the device rather
+    /// than the model, keeps counting.
+    pub fn swap_program(&mut self, program: Arc<GridProgram>) {
+        self.latency_ns = program.timing.latency_ns.round() as u64;
+        self.sim = CgraSim::shared(program);
+    }
+
     /// The underlying simulator (e.g., to inspect persistent state).
     pub fn sim(&self) -> &CgraSim {
         &self.sim

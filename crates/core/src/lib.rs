@@ -22,6 +22,11 @@
 //! - [`switch`]: [`switch::TaurusSwitch`] and [`switch::SwitchBuilder`],
 //!   the public per-packet device API (Fig. 6's full pipeline, bypass
 //!   included), hosting any number of apps side by side.
+//! - [`update`]: live model updates ([`update::ModelUpdate`]) — the
+//!   versioned weight bundle the control plane installs onto running
+//!   switches ([`switch::TaurusSwitch::install_update`]): program swap
+//!   for CGRA engines, in-place edits for threshold engines, new
+//!   formatter/MATs when quantization ranges move.
 //! - [`e2e`]: the end-to-end experiment harness comparing Taurus against
 //!   the control-plane baseline over identical traces (Table 8).
 //!
@@ -51,8 +56,11 @@ pub mod e2e;
 pub mod engine;
 pub mod ingest;
 pub mod switch;
+pub mod update;
 
-pub use app::{BoxedEngine, EngineBackend, FeatureFormatter, TaurusApp, VerdictPolicy};
+pub use app::{
+    BoxedEngine, EngineBackend, FeatureFormatter, SwitchEngine, TaurusApp, VerdictPolicy,
+};
 pub use apps::{AnomalyDetector, ReactionTime, SynFloodDetector};
 pub use engine::CgraEngine;
 pub use ingest::ObsBuilder;
@@ -60,3 +68,4 @@ pub use switch::{
     AppCounters, AppReport, DuplicateAppError, ReportMergeError, SwitchBuilder, SwitchReport,
     SwitchResult, TaurusSwitch,
 };
+pub use update::{EngineUpdate, FormatterFactory, ModelUpdate, UpdateError};

@@ -15,7 +15,9 @@ use taurus_pisa::{Packet, PipelineConfig, TaurusPipeline, Verdict};
 
 use crate::app::{BoxedEngine, EngineBackend, ReactionTime, TaurusApp, VerdictPolicy};
 use crate::apps::AnomalyDetector;
+use crate::engine::CgraEngine;
 use crate::ingest::{to_packet, ObsBuilder};
+use crate::update::{EngineUpdate, ModelUpdate, UpdateError};
 
 /// Per-app counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -166,6 +168,9 @@ struct HostedApp {
     policy: VerdictPolicy,
     pipeline: TaurusPipeline<BoxedEngine>,
     counters: AppCounters,
+    /// Installed model version: 0 for the build-time model, then the
+    /// version of the last [`ModelUpdate`] applied.
+    version: u64,
 }
 
 /// Builds a [`TaurusSwitch`]: configuration, engine backend selection,
@@ -317,6 +322,7 @@ impl SwitchBuilder {
                     policy: r.policy,
                     pipeline,
                     counters: AppCounters::default(),
+                    version: 0,
                 }
             })
             .collect();
@@ -435,6 +441,80 @@ impl TaurusSwitch {
                 })
                 .collect(),
         }
+    }
+
+    /// Installs a live model update on one hosted app: the engine is
+    /// rewired first (program swap on CGRA engines, in-place cutoff
+    /// edits on threshold engines), then the feature formatter and
+    /// postprocessing MATs are replaced if the update carries them,
+    /// and finally the app's installed version advances.
+    ///
+    /// Installation is transactional: every failure path is checked
+    /// before any state is mutated, so an erroring install leaves the
+    /// switch exactly as it was. Flow registers, counters, and
+    /// cross-flow windows are untouched — packets in flight keep their
+    /// accumulated features and only the model interpreting them
+    /// changes, the paper's no-loss weight-install semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::UnknownApp`] when no hosted app matches,
+    /// [`UpdateError::StaleVersion`] unless `update.version` strictly
+    /// exceeds the installed version, and
+    /// [`UpdateError::BackendMismatch`] when the engine update's kind
+    /// does not fit the hosted engine (e.g. a compiled program offered
+    /// to a threshold backend).
+    pub fn install_update(&mut self, update: &ModelUpdate) -> Result<(), UpdateError> {
+        let app = self
+            .apps
+            .iter_mut()
+            .find(|a| a.name == update.app)
+            .ok_or_else(|| UpdateError::UnknownApp { app: update.app.clone() })?;
+        if update.version <= app.version {
+            return Err(UpdateError::StaleVersion {
+                app: app.name.clone(),
+                installed: app.version,
+                offered: update.version,
+            });
+        }
+        let engine = app.pipeline.engine_mut().as_mut().as_any_mut();
+        match &update.engine {
+            EngineUpdate::Program(program) => match engine.downcast_mut::<CgraEngine>() {
+                Some(cgra) => cgra.swap_program(std::sync::Arc::clone(program)),
+                None => return Err(UpdateError::BackendMismatch { app: app.name.clone() }),
+            },
+            EngineUpdate::Threshold(t) => {
+                if let Some(e) = engine.downcast_mut::<taurus_pisa::pipeline::ThresholdEngine>() {
+                    e.threshold = *t;
+                } else if let Some(e) = engine.downcast_mut::<taurus_pisa::LinearThresholdEngine>()
+                {
+                    e.threshold = *t;
+                } else {
+                    return Err(UpdateError::BackendMismatch { app: app.name.clone() });
+                }
+            }
+            EngineUpdate::KeepEngine => {}
+        }
+        if let Some(factory) = &update.formatter {
+            app.pipeline.set_formatter(factory());
+        }
+        if let Some(tables) = &update.post_tables {
+            app.pipeline.post_tables = tables.clone();
+        }
+        app.version = update.version;
+        Ok(())
+    }
+
+    /// The installed model version of one hosted app (0 until the first
+    /// update), or `None` for an unknown name.
+    pub fn app_version(&self, app: &str) -> Option<u64> {
+        self.apps.iter().find(|a| a.name == app).map(|a| a.version)
+    }
+
+    /// Installed model versions of every hosted app, in registration
+    /// order.
+    pub fn app_versions(&self) -> Vec<(String, u64)> {
+        self.apps.iter().map(|a| (a.name.clone(), a.version)).collect()
     }
 
     /// Number of hosted apps.
@@ -630,6 +710,101 @@ mod tests {
         let err = SwitchReport::merged([&a.report(), &single.report()]).unwrap_err();
         assert_eq!(err, ReportMergeError::AppMismatch { index: 0 });
         assert_eq!(SwitchReport::merged([]).unwrap_err(), ReportMergeError::Empty);
+    }
+
+    #[test]
+    fn install_update_swaps_the_cgra_program_live() {
+        use taurus_ml::TrainParams;
+
+        let detector = AnomalyDetector::train_default(31, 1_200);
+        let mut switch = TaurusSwitch::new(&detector);
+        assert_eq!(switch.app_version("anomaly-detection"), Some(0));
+
+        // Retrain the float model so the new program behaves differently.
+        let mut retrained = detector.float_model.clone();
+        let mut gen = KddGenerator::new(32);
+        let mut ds = gen.binary_dataset(500, taurus_dataset::kdd::FeatureView::Dnn6);
+        detector.standardizer.apply(&mut ds);
+        retrained.train(
+            ds.features(),
+            ds.labels(),
+            &TrainParams { epochs: 5, ..TrainParams::default() },
+        );
+        let update = detector.prepare_update(&retrained, ds.features(), 1);
+
+        let records = KddGenerator::new(33).take(120);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let before: Vec<_> =
+            trace.packets.iter().map(|tp| switch.process_trace_packet(tp).verdict).collect();
+
+        switch.install_update(&update).expect("CGRA program swap");
+        assert_eq!(switch.app_version("anomaly-detection"), Some(1));
+        assert_eq!(switch.app_versions(), vec![("anomaly-detection".to_string(), 1)]);
+
+        // Same stream again: flow state persisted across the install,
+        // but a different model now interprets the features.
+        let mut replay = ObsBuilder::new();
+        let _ = &mut replay;
+        let after: Vec<_> =
+            trace.packets.iter().map(|tp| switch.process_trace_packet(tp).verdict).collect();
+        assert_eq!(before.len(), after.len());
+        // Counters kept accumulating across the swap — no reset, no loss.
+        assert_eq!(switch.report().packets, 2 * trace.packets.len() as u64);
+    }
+
+    #[test]
+    fn install_update_rejects_unknown_stale_and_mismatched() {
+        use crate::update::{ModelUpdate, UpdateError};
+
+        let syn = SynFloodDetector::default_deployment();
+        let mut switch = SwitchBuilder::new().register_on(&syn, EngineBackend::Threshold).build();
+
+        // Unknown app.
+        let err =
+            switch.install_update(&ModelUpdate::retune_threshold("no-such-app", 1, 5)).unwrap_err();
+        assert_eq!(err, UpdateError::UnknownApp { app: "no-such-app".into() });
+
+        // In-place threshold edit works on the heuristic backend…
+        switch.install_update(&syn.retune(30, 2, EngineBackend::Threshold)).expect("retune");
+        assert_eq!(switch.app_version("syn-flood"), Some(2));
+
+        // …but stale/equal versions are rejected and leave state alone.
+        let err = switch.install_update(&syn.retune(20, 2, EngineBackend::Threshold)).unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::StaleVersion { app: "syn-flood".into(), installed: 2, offered: 2 }
+        );
+        assert_eq!(switch.app_version("syn-flood"), Some(2));
+
+        // A compiled-program update cannot land on a threshold engine —
+        // including a CgraSim retune mistakenly aimed at this
+        // deployment, whose raw-score MAT would otherwise silently
+        // never fire against the heuristic's 0/1 output.
+        let err = switch.install_update(&syn.retune(30, 3, EngineBackend::CgraSim)).unwrap_err();
+        assert_eq!(err, UpdateError::BackendMismatch { app: "syn-flood".into() });
+        assert_eq!(switch.app_version("syn-flood"), Some(2), "failed install mutated nothing");
+        assert!(err.to_string().contains("different engine backend"), "{err}");
+    }
+
+    #[test]
+    fn threshold_retune_changes_the_verdict_boundary_in_place() {
+        let syn = SynFloodDetector::default_deployment();
+        // CGRA deployment: the cutoff lives in the post MAT.
+        let mut switch = SwitchBuilder::new().register(&syn).build();
+        let records = KddGenerator::new(34).take(200);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        for tp in &trace.packets {
+            switch.process_trace_packet(tp);
+        }
+        let strict_drops = switch.report().dropped;
+        switch.reset();
+        // Retune to an unreachable cutoff: nothing can drop any more.
+        switch.install_update(&syn.retune(i64::MAX, 1, EngineBackend::CgraSim)).expect("retune");
+        for tp in &trace.packets {
+            switch.process_trace_packet(tp);
+        }
+        assert!(strict_drops > 0, "baseline cutoff drops something");
+        assert_eq!(switch.report().dropped, 0, "retuned cutoff drops nothing");
     }
 
     #[test]

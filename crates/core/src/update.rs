@@ -1,0 +1,162 @@
+//! Live model updates: [`ModelUpdate`], the versioned artifact the
+//! control plane installs onto running switches (§5.2.3, Figs. 13–14).
+//!
+//! The paper's operational claim is that retrained weights reach the
+//! data plane at flow-rule latency with no packet loss. This module
+//! defines what actually crosses that boundary: a named, versioned
+//! bundle of
+//!
+//! - exported float weights ([`taurus_ml::MlpWeights`], the control
+//!   plane's source of truth, kept for audit/telemetry),
+//! - an [`EngineUpdate`]: a freshly compiled MapReduce program to swap
+//!   into CGRA engines via `Arc` retargeting, a new cutoff for
+//!   threshold engines (updated in place), or "keep the engine"
+//!   (formatter/table-only updates),
+//! - optionally a new feature-formatter factory (quantization ranges
+//!   move with the weights) and new postprocessing MATs (the verdict
+//!   threshold lives in the model's output code domain).
+//!
+//! An update is *prepared once* (quantize + compile on the control
+//! plane — see [`crate::apps::AnomalyDetector::prepare_update`]) and
+//! then installed on any number of replicas: all shards of a sharded
+//! runtime share the same compiled program through the `Arc`.
+//! Installation is transactional per app — validation happens before
+//! any mutation, so a failed install leaves the switch untouched —
+//! and versions are strictly increasing, which lets a distributed
+//! installer reason about which replicas have converged.
+
+use std::sync::Arc;
+
+use taurus_compiler::GridProgram;
+use taurus_ml::MlpWeights;
+use taurus_pisa::mat::MatchTable;
+use taurus_pisa::pipeline::FeatureFormatter;
+
+/// Builds fresh [`FeatureFormatter`]s for an update: each replica's
+/// pipeline needs its own boxed closure, so updates carry the factory
+/// rather than one formatter instance.
+pub type FormatterFactory = Arc<dyn Fn() -> FeatureFormatter + Send + Sync>;
+
+/// How an update changes the hosted app's inference engine.
+#[derive(Clone)]
+pub enum EngineUpdate {
+    /// Swap in a freshly compiled MapReduce program (CGRA engines): the
+    /// engine retargets its shared program handle — one compilation
+    /// serves every replica.
+    Program(Arc<GridProgram>),
+    /// Rewrite a threshold engine's cutoff in place (the
+    /// [`taurus_pisa::pipeline::ThresholdEngine`] /
+    /// [`taurus_pisa::LinearThresholdEngine`] backends).
+    Threshold(i64),
+    /// Leave the engine untouched (formatter- or table-only updates).
+    KeepEngine,
+}
+
+impl core::fmt::Debug for EngineUpdate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineUpdate::Program(p) => {
+                write!(f, "Program(latency {} ns)", p.timing.latency_ns.round())
+            }
+            EngineUpdate::Threshold(t) => write!(f, "Threshold({t})"),
+            EngineUpdate::KeepEngine => write!(f, "KeepEngine"),
+        }
+    }
+}
+
+/// A versioned model update for one hosted app.
+#[derive(Clone)]
+pub struct ModelUpdate {
+    /// Target app ([`crate::app::TaurusApp::name`]).
+    pub app: String,
+    /// Strictly increasing per-app version; installs of a version at or
+    /// below the installed one are rejected (idempotence under retry,
+    /// and no accidental rollback through a reordered channel).
+    pub version: u64,
+    /// The float weights this update was built from, when it came from
+    /// retraining (`None` for e.g. threshold retunes).
+    pub weights: Option<MlpWeights>,
+    /// The engine-side change.
+    pub engine: EngineUpdate,
+    /// Replacement feature formatter, if quantization ranges moved with
+    /// the weights.
+    pub formatter: Option<FormatterFactory>,
+    /// Replacement postprocessing MATs, if the verdict threshold moved
+    /// with the model's output quantization.
+    pub post_tables: Option<Vec<MatchTable>>,
+}
+
+impl ModelUpdate {
+    /// A minimal threshold retune: update the engine cutoff in place,
+    /// keep formatter and tables.
+    pub fn retune_threshold(app: impl Into<String>, version: u64, threshold: i64) -> Self {
+        Self {
+            app: app.into(),
+            version,
+            weights: None,
+            engine: EngineUpdate::Threshold(threshold),
+            formatter: None,
+            post_tables: None,
+        }
+    }
+}
+
+impl core::fmt::Debug for ModelUpdate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ModelUpdate")
+            .field("app", &self.app)
+            .field("version", &self.version)
+            .field("engine", &self.engine)
+            .field("weights", &self.weights.as_ref().map(|w| w.shape()))
+            .field("new_formatter", &self.formatter.is_some())
+            .field("new_post_tables", &self.post_tables.as_ref().map(Vec::len))
+            .finish()
+    }
+}
+
+/// Why a [`ModelUpdate`] could not be installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// No hosted app has the update's name.
+    UnknownApp {
+        /// The update's target name.
+        app: String,
+    },
+    /// The update's version is not greater than the installed one.
+    StaleVersion {
+        /// The app.
+        app: String,
+        /// Version currently installed.
+        installed: u64,
+        /// Version the update offered.
+        offered: u64,
+    },
+    /// The engine update does not match the hosted engine's backend
+    /// (e.g. a compiled program offered to a threshold engine).
+    BackendMismatch {
+        /// The app.
+        app: String,
+    },
+}
+
+impl core::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UpdateError::UnknownApp { app } => {
+                write!(f, "no app named `{app}` is hosted on this switch")
+            }
+            UpdateError::StaleVersion { app, installed, offered } => write!(
+                f,
+                "stale update for `{app}`: version {offered} offered but {installed} already \
+                 installed (versions must strictly increase)"
+            ),
+            UpdateError::BackendMismatch { app } => write!(
+                f,
+                "update for `{app}` targets a different engine backend than the hosted one \
+                 (program swaps need a CGRA engine; threshold edits need a threshold engine)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}

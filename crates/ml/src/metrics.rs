@@ -32,6 +32,15 @@ impl BinaryMetrics {
         }
     }
 
+    /// Adds another confusion count into this one (merging per-shard
+    /// measurements of one packet population).
+    pub fn absorb(&mut self, other: &BinaryMetrics) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
     /// Builds metrics from parallel prediction/label iterators.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (bool, bool)>) -> Self {
         let mut m = Self::default();

@@ -210,6 +210,17 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
         &mut self.engine
     }
 
+    /// Replaces the feature formatter — part of installing a model
+    /// update whose quantization ranges moved (the formatter bakes in
+    /// the model's input `QuantParams`, so new weights need a matching
+    /// encoder or the engine would read codes under the wrong scale).
+    pub fn set_formatter(
+        &mut self,
+        formatter: impl FnMut(&FlowFeatures) -> Vec<i32> + Send + 'static,
+    ) {
+        self.formatter = Box::new(formatter);
+    }
+
     /// Clears flow state between runs.
     pub fn reset_state(&mut self) {
         self.tracker.clear();

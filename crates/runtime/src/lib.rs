@@ -16,6 +16,14 @@
 //! `tests/determinism.rs` for the pinning suite). Parallelism changes
 //! the wall clock, never the semantics.
 //!
+//! The runtime also serves **live model updates**: a
+//! [`taurus_core::ModelUpdate`] scheduled via
+//! [`ShardedRuntime::schedule_update`] is applied on every shard at the
+//! same global packet index (an in-band message at a batch boundary),
+//! extending the exactness guarantee across weight swaps — and
+//! [`deploy::run_online_deployment`] closes the §5.2.3 loop by training
+//! online against the live runtime and measuring the *deployed* F1.
+//!
 //! ```
 //! use taurus_core::apps::SynFloodDetector;
 //! use taurus_core::EngineBackend;
@@ -39,9 +47,11 @@
 //! [`TaurusSwitch`]: taurus_core::TaurusSwitch
 //! [`SwitchReport`]: taurus_core::SwitchReport
 
+pub mod deploy;
 pub mod runtime;
 pub mod spsc;
 
+pub use deploy::{run_online_deployment, DeploymentConfig, DeploymentReport, DeploymentRound};
 pub use runtime::{
     shard_of, PreparedPacket, RuntimeBuilder, RuntimeReport, ShardStats, ShardedRuntime,
 };

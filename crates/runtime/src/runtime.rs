@@ -29,12 +29,18 @@
 //! equals the sequential switch's report exactly. The determinism test
 //! suite (`tests/determinism.rs`) pins this for shard counts 1/2/4/8.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use taurus_core::ingest::{to_packet, ObsBuilder};
-use taurus_core::{EngineBackend, SwitchBuilder, SwitchReport, TaurusApp, TaurusSwitch};
+use taurus_core::{
+    DuplicateAppError, EngineBackend, ModelUpdate, SwitchBuilder, SwitchReport, TaurusApp,
+    TaurusSwitch, UpdateError,
+};
 use taurus_dataset::trace::{PacketTrace, TracePacket};
+use taurus_ml::BinaryMetrics;
 use taurus_pisa::registers::PacketObs;
-use taurus_pisa::{CrossFlowWindows, Packet, PipelineConfig};
+use taurus_pisa::{CrossFlowWindows, Packet, PipelineConfig, Verdict};
 
 use crate::spsc;
 
@@ -51,6 +57,22 @@ pub struct PreparedPacket {
     pub dst_count: u64,
     /// Destination-service fan-in at this packet.
     pub srv_count: u64,
+    /// Trace ground truth, carried so workers can score deployed
+    /// verdicts per model segment without a second pass.
+    pub anomalous: bool,
+}
+
+/// One message on an ingest→worker channel. Updates travel *in-band*:
+/// because each channel is FIFO and ingest flushes every staged batch
+/// before enqueuing the update, a worker applies it after every packet
+/// with global index < k and before any with index ≥ k — the
+/// batch-boundary barrier that makes live updates deterministic.
+enum ShardMsg {
+    /// A batch of routed packets.
+    Batch(Vec<PreparedPacket>),
+    /// Install this model update now (shared: one prepared update, one
+    /// compiled program, every shard).
+    Update(Arc<ModelUpdate>),
 }
 
 /// The home shard for a flow key: `canonical().hash() % shards`.
@@ -193,12 +215,37 @@ impl<'a> RuntimeBuilder<'a> {
     /// # Panics
     ///
     /// Panics if no app was registered, if two registered apps share a
-    /// name, or if the shard count does not divide `flow_slots` while
+    /// name (see [`RuntimeBuilder::try_build`] for the non-panicking
+    /// form), or if the shard count does not divide `flow_slots` while
     /// exactness is promised (no [`RuntimeBuilder::shard_flow_slots`]
     /// override) — a non-dividing count would silently split register
     /// collisions across shards and break the bit-for-bit guarantee.
     pub fn build(self) -> ShardedRuntime {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the runtime, rejecting duplicate app names up front — a
+    /// duplicate used to surface only as a panic deep inside replica
+    /// construction (once per shard, from the infallible registration
+    /// path); here the whole roster is validated before any replica,
+    /// program clone, or thread resource is created.
+    ///
+    /// # Errors
+    ///
+    /// [`DuplicateAppError`] naming the first contested app name.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on the *configuration* errors that have no dynamic
+    /// cause: an empty roster, or a shard count that breaks the
+    /// exactness contract (see [`RuntimeBuilder::build`]).
+    pub fn try_build(self) -> Result<ShardedRuntime, DuplicateAppError> {
         assert!(!self.apps.is_empty(), "register at least one TaurusApp before build()");
+        for (i, (app, _)) in self.apps.iter().enumerate() {
+            if self.apps[..i].iter().any(|(prev, _)| prev.name() == app.name()) {
+                return Err(DuplicateAppError { name: app.name().to_string() });
+            }
+        }
         if self.shard_flow_slots.is_none() {
             assert!(
                 self.config.flow_slots.is_multiple_of(self.shards),
@@ -223,13 +270,14 @@ impl<'a> RuntimeBuilder<'a> {
                     .build()
             })
             .collect();
-        ShardedRuntime {
+        Ok(ShardedRuntime {
             switches,
             batch_size: self.batch_size,
             queue_depth: self.queue_depth,
             obs_builder: ObsBuilder::new(),
             windows: CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
-        }
+            pending_updates: Vec::new(),
+        })
     }
 }
 
@@ -255,6 +303,15 @@ pub struct RuntimeReport {
     pub merged: SwitchReport,
     /// Per-shard breakdown, indexed by shard.
     pub shards: Vec<ShardStats>,
+    /// Deployed-verdict confusion per model segment, merged across
+    /// shards. Segment boundaries are the in-band model updates of this
+    /// run: segment 0 covers packets before the first update, segment
+    /// *i* the packets between updates *i* and *i+1* — so
+    /// `segments.len() == updates applied + 1`, and with no updates
+    /// there is exactly one segment covering the whole run. Because
+    /// every shard sees updates at the same global packet boundary,
+    /// the element-wise merge is exact.
+    pub segments: Vec<BinaryMetrics>,
 }
 
 impl RuntimeReport {
@@ -301,6 +358,9 @@ pub struct ShardedRuntime {
     queue_depth: usize,
     obs_builder: ObsBuilder,
     windows: CrossFlowWindows,
+    /// Updates scheduled for the next run, sorted by install index
+    /// (stable for equal indices: scheduling order is install order).
+    pending_updates: Vec<(u64, Arc<ModelUpdate>)>,
 }
 
 impl ShardedRuntime {
@@ -314,6 +374,52 @@ impl ShardedRuntime {
         self.batch_size
     }
 
+    /// Installs a model update on every shard *now* (between runs).
+    /// Replicas are identical by construction, so validation on the
+    /// first shard decides for all of them: an error returns before any
+    /// replica was touched, keeping the fleet consistent.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaurusSwitch::install_update`].
+    pub fn install_update(&mut self, update: &ModelUpdate) -> Result<(), UpdateError> {
+        for switch in &mut self.switches {
+            switch.install_update(update)?;
+        }
+        Ok(())
+    }
+
+    /// Schedules a live update for the next run: it is applied on
+    /// **every shard at global packet index `at_packet`** of that run —
+    /// packets with index < `at_packet` are decided by the old model,
+    /// packets with index ≥ `at_packet` by the new one, exactly as if a
+    /// sequential [`TaurusSwitch`] had had the update installed between
+    /// those two packets. Ingest realizes the barrier by flushing every
+    /// staged partial batch and then enqueuing the update in-band on
+    /// each shard's FIFO channel; no worker ever pauses.
+    ///
+    /// Indices at or beyond the run's length install after the last
+    /// packet (the update still lands; it just decided nothing).
+    /// Invalid updates (unknown app, stale version, wrong backend)
+    /// surface as a worker panic during the run — scheduling itself
+    /// cannot check them against the future run.
+    pub fn schedule_update(&mut self, at_packet: u64, update: ModelUpdate) {
+        self.pending_updates.push((at_packet, Arc::new(update)));
+        self.pending_updates.sort_by_key(|&(at, _)| at);
+    }
+
+    /// Updates scheduled for the next run (install index, app, version).
+    pub fn scheduled_updates(&self) -> Vec<(u64, String, u64)> {
+        self.pending_updates.iter().map(|(at, u)| (*at, u.app.clone(), u.version)).collect()
+    }
+
+    /// Installed model versions per app (registration order). All
+    /// shards agree by construction — updates apply to every shard at
+    /// the same boundary — so this reads the first replica.
+    pub fn app_versions(&self) -> Vec<(String, u64)> {
+        self.switches.first().map(TaurusSwitch::app_versions).unwrap_or_default()
+    }
+
     /// Runs a whole trace through the runtime; see
     /// [`ShardedRuntime::run_packets`].
     pub fn run_trace(&mut self, trace: &PacketTrace) -> RuntimeReport {
@@ -325,37 +431,91 @@ impl ShardedRuntime {
     /// flow-consistent routing, batching), one worker thread per shard
     /// executes its replica, and the per-shard reports are merged.
     ///
+    /// Updates scheduled via [`ShardedRuntime::schedule_update`] are
+    /// consumed by this run and applied in-band at their global packet
+    /// index (on every shard, at a batch boundary the flush creates).
+    ///
     /// Packets must be in arrival order (as [`PacketTrace`] guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scheduled update fails to install on a shard
+    /// (unknown app, stale version, backend mismatch) — by then some
+    /// replicas may already run the new model, and a half-updated fleet
+    /// must not keep serving.
     pub fn run_packets(&mut self, packets: &[TracePacket]) -> RuntimeReport {
         let shards = self.switches.len();
         let batch_size = self.batch_size;
         let queue_depth = self.queue_depth;
+        let updates = std::mem::take(&mut self.pending_updates);
         // Split borrows: workers own the switches, ingest owns the rest.
         let Self { switches, obs_builder, windows, .. } = self;
-        let mut worker_stats = vec![(0u64, 0u64); shards];
+        let mut worker_stats = vec![(0u64, 0u64, Vec::new()); shards];
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(shards);
             let mut handles = Vec::with_capacity(shards);
             for switch in switches.iter_mut() {
-                let (tx, rx) = spsc::channel::<Vec<PreparedPacket>>(queue_depth);
+                let (tx, rx) = spsc::channel::<ShardMsg>(queue_depth);
                 senders.push(tx);
                 handles.push(scope.spawn(move || {
                     let mut processed = 0u64;
                     let mut batches = 0u64;
-                    while let Ok(batch) = rx.recv() {
-                        batches += 1;
-                        for p in &batch {
-                            switch.process_prepared(&p.pkt, p.obs, p.dst_count, p.srv_count);
-                            processed += 1;
+                    let mut segments = vec![BinaryMetrics::default()];
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            ShardMsg::Batch(batch) => {
+                                batches += 1;
+                                for p in &batch {
+                                    let r = switch.process_prepared(
+                                        &p.pkt,
+                                        p.obs,
+                                        p.dst_count,
+                                        p.srv_count,
+                                    );
+                                    segments
+                                        .last_mut()
+                                        .expect("nonempty")
+                                        .record(r.verdict == Verdict::Drop, p.anomalous);
+                                    processed += 1;
+                                }
+                            }
+                            ShardMsg::Update(update) => {
+                                switch.install_update(&update).unwrap_or_else(|e| {
+                                    panic!("live model update failed on a shard: {e}")
+                                });
+                                segments.push(BinaryMetrics::default());
+                            }
                         }
                     }
-                    (processed, batches)
+                    (processed, batches, segments)
                 }));
             }
 
+            // Flush every staged partial batch, then enqueue the update
+            // in-band on every channel: the FIFO order guarantees each
+            // worker applies it at exactly this global packet boundary.
+            let flush_and_update = |staging: &mut Vec<Vec<PreparedPacket>>,
+                                    senders: &[spsc::Sender<ShardMsg>],
+                                    update: &Arc<ModelUpdate>| {
+                for (shard, batch) in staging.iter_mut().enumerate() {
+                    if !batch.is_empty() {
+                        let full = std::mem::replace(batch, Vec::with_capacity(batch_size));
+                        let _ = senders[shard].send(ShardMsg::Batch(full));
+                    }
+                }
+                for tx in senders {
+                    let _ = tx.send(ShardMsg::Update(Arc::clone(update)));
+                }
+            };
+
             let mut staging: Vec<Vec<PreparedPacket>> =
                 (0..shards).map(|_| Vec::with_capacity(batch_size)).collect();
-            'ingest: for tp in packets {
+            let mut next_update = 0usize;
+            'ingest: for (index, tp) in packets.iter().enumerate() {
+                while next_update < updates.len() && updates[next_update].0 == index as u64 {
+                    flush_and_update(&mut staging, &senders, &updates[next_update].1);
+                    next_update += 1;
+                }
                 let obs = obs_builder.observe(tp);
                 let (dst_count, srv_count) = windows.observe(&obs);
                 let shard = shard_of(obs.flow_key, shards);
@@ -364,20 +524,26 @@ impl ShardedRuntime {
                     obs,
                     dst_count,
                     srv_count,
+                    anomalous: tp.anomalous,
                 });
                 if staging[shard].len() == batch_size {
                     let batch =
                         std::mem::replace(&mut staging[shard], Vec::with_capacity(batch_size));
-                    if senders[shard].send(batch).is_err() {
+                    if senders[shard].send(ShardMsg::Batch(batch)).is_err() {
                         // The worker died; stop feeding and surface its
                         // panic at join below.
                         break 'ingest;
                     }
                 }
             }
+            // Updates scheduled at or past the stream's end still land
+            // (after the last packet), so versions advance as promised.
+            for (_, update) in &updates[next_update..] {
+                flush_and_update(&mut staging, &senders, update);
+            }
             for (shard, batch) in staging.into_iter().enumerate() {
                 if !batch.is_empty() {
-                    let _ = senders[shard].send(batch);
+                    let _ = senders[shard].send(ShardMsg::Batch(batch));
                 }
             }
             drop(senders); // close the channels: workers drain and exit
@@ -389,25 +555,33 @@ impl ShardedRuntime {
             }
         });
 
+        let mut segments: Vec<BinaryMetrics> = Vec::new();
         let shards: Vec<ShardStats> = self
             .switches
             .iter()
             .zip(worker_stats)
             .enumerate()
-            .map(|(shard, (switch, (packets, batches)))| ShardStats {
-                shard,
-                packets,
-                batches,
-                report: switch.report(),
+            .map(|(shard, (switch, (packets, batches, worker_segments)))| {
+                if segments.is_empty() {
+                    segments = worker_segments;
+                } else {
+                    debug_assert_eq!(segments.len(), worker_segments.len());
+                    for (acc, seg) in segments.iter_mut().zip(&worker_segments) {
+                        acc.absorb(seg);
+                    }
+                }
+                ShardStats { shard, packets, batches, report: switch.report() }
             })
             .collect();
         let merged = SwitchReport::merged(shards.iter().map(|s| &s.report))
             .expect("replicas share one roster by construction");
-        RuntimeReport { merged, shards }
+        RuntimeReport { merged, shards, segments }
     }
 
     /// Clears every replica's flow state and counters plus the shared
-    /// ingest state — the runtime equals a freshly built one.
+    /// ingest state. Installed models (and their versions) survive:
+    /// reset separates experiment phases, it does not roll back
+    /// deployments. Updates scheduled for the next run also survive.
     pub fn reset(&mut self) {
         for switch in &mut self.switches {
             switch.reset();
@@ -537,6 +711,7 @@ mod tests {
                     report: SwitchReport::default(),
                 })
                 .collect(),
+            segments: vec![taurus_ml::BinaryMetrics::default()],
         };
         assert_eq!(report.balance(), 1.0);
         assert_eq!(report.modeled_pps(1e9), 4e9, "4 balanced shards = 4x line rate");
@@ -581,5 +756,94 @@ mod tests {
             .register_on(&a, EngineBackend::Threshold)
             .register_on(&b, EngineBackend::Threshold)
             .build();
+    }
+
+    #[test]
+    fn try_build_reports_duplicates_before_any_replica_exists() {
+        // Regression: duplicates used to explode as a panic deep inside
+        // replica construction (SwitchBuilder::register_on, once per
+        // shard); try_build validates the roster up front and returns a
+        // typed error instead.
+        let a = SynFloodDetector::default_deployment();
+        let b = SynFloodDetector::new(9); // different config, same name
+        let err = RuntimeBuilder::new()
+            .shards(4)
+            .register_on(&a, EngineBackend::Threshold)
+            .register_on(&b, EngineBackend::Threshold)
+            .try_build()
+            .expect_err("duplicate roster must be rejected");
+        assert_eq!(err.name, "syn-flood");
+        assert!(err.to_string().contains("duplicate app name `syn-flood`"), "{err}");
+
+        // A clean roster builds fine through the same path.
+        let rt = RuntimeBuilder::new()
+            .shards(2)
+            .register_on(&a, EngineBackend::Threshold)
+            .try_build()
+            .expect("unique roster builds");
+        assert_eq!(rt.shard_count(), 2);
+    }
+
+    #[test]
+    fn runs_without_updates_report_one_whole_run_segment() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(120, 36);
+        let mut rt =
+            RuntimeBuilder::new().shards(4).register_on(&syn, EngineBackend::Threshold).build();
+        let report = rt.run_trace(&t);
+        assert_eq!(report.segments.len(), 1, "no updates: one segment");
+        assert_eq!(report.segments[0].total(), t.packets.len() as u64);
+        // The segment's confusion is consistent with the merged report:
+        // enforcing single-app roster ⇒ drops == predicted positives.
+        assert_eq!(report.segments[0].tp + report.segments[0].fp, report.merged.dropped);
+    }
+
+    #[test]
+    fn scheduled_threshold_update_splits_segments_at_the_exact_packet() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(150, 37);
+        let k = (t.packets.len() / 2) as u64;
+        let mut rt = RuntimeBuilder::new()
+            .shards(2)
+            .batch_size(16)
+            .register_on(&syn, EngineBackend::Threshold)
+            .build();
+        // An absurdly high cutoff: the second segment can never drop.
+        rt.schedule_update(k, syn.retune(i64::MAX - 1, 1, EngineBackend::Threshold));
+        assert_eq!(rt.scheduled_updates(), vec![(k, "syn-flood".to_string(), 1)]);
+        let report = rt.run_trace(&t);
+        assert!(rt.scheduled_updates().is_empty(), "consumed by the run");
+        assert_eq!(rt.app_versions(), vec![("syn-flood".to_string(), 1)]);
+        assert_eq!(report.segments.len(), 2);
+        assert_eq!(report.segments[0].total(), k);
+        assert_eq!(report.segments[1].total(), t.packets.len() as u64 - k);
+        assert_eq!(report.segments[1].tp + report.segments[1].fp, 0, "new cutoff never fires");
+    }
+
+    #[test]
+    fn updates_scheduled_past_the_stream_end_still_install() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(40, 38);
+        let mut rt =
+            RuntimeBuilder::new().shards(2).register_on(&syn, EngineBackend::Threshold).build();
+        rt.schedule_update(u64::MAX, syn.retune(50, 1, EngineBackend::Threshold));
+        let report = rt.run_trace(&t);
+        assert_eq!(report.segments.len(), 2);
+        assert_eq!(report.segments[1].total(), 0, "nothing left to decide");
+        assert_eq!(rt.app_versions(), vec![("syn-flood".to_string(), 1)]);
+    }
+
+    #[test]
+    fn immediate_install_rejects_stale_versions_fleet_wide() {
+        let syn = SynFloodDetector::default_deployment();
+        let mut rt =
+            RuntimeBuilder::new().shards(2).register_on(&syn, EngineBackend::Threshold).build();
+        rt.install_update(&syn.retune(45, 3, EngineBackend::Threshold)).expect("fresh version");
+        assert_eq!(rt.app_versions(), vec![("syn-flood".to_string(), 3)]);
+        let err = rt
+            .install_update(&syn.retune(45, 3, EngineBackend::Threshold))
+            .expect_err("same version again is stale");
+        assert!(err.to_string().contains("stale update"), "{err}");
+        assert_eq!(rt.app_versions(), vec![("syn-flood".to_string(), 3)], "fleet untouched");
     }
 }

@@ -207,4 +207,58 @@ mod tests {
     fn zero_capacity_rejected() {
         let _ = channel::<u8>(0);
     }
+
+    #[test]
+    fn sender_dropped_while_receiver_is_mid_drain() {
+        // The receiver is actively consuming when the sender goes away:
+        // everything already sent must still arrive, in order, and only
+        // then does RecvError surface — no deadlock, no lost items.
+        let (tx, rx) = channel(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+            // tx dropped here, quite possibly while the receiver is
+            // blocked inside recv() waiting for item 100.
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+            // Let the sender race ahead and (eventually) die while we
+            // are mid-drain.
+            if got.len() % 10 == 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError), "closed stays closed");
+    }
+
+    #[test]
+    fn receiver_dropped_while_sender_is_blocked_on_a_full_queue() {
+        // The sender is parked in send() on a full channel when the
+        // receiver disappears: it must wake up with SendError (carrying
+        // the unsent value back) instead of deadlocking forever.
+        let (tx, rx) = channel(1);
+        tx.send(0u64).unwrap();
+        let producer = thread::spawn(move || {
+            // The channel is full: this blocks until the receiver drops.
+            tx.send(1)
+        });
+        thread::sleep(Duration::from_millis(20)); // let the sender park
+        drop(rx);
+        let result = producer.join().unwrap();
+        assert_eq!(result, Err(SendError(1)), "blocked sender wakes with its value back");
+    }
+
+    #[test]
+    fn receiver_dropped_with_items_still_queued_fails_subsequent_sends_fast() {
+        let (tx, rx) = channel(4);
+        tx.send("queued").unwrap();
+        drop(rx);
+        // Not blocked — the queue had room — but the receiver is gone:
+        // the send must fail immediately rather than buffer into a void.
+        assert_eq!(tx.send("after"), Err(SendError("after")));
+    }
 }
