@@ -1,0 +1,54 @@
+//! Criterion benchmark of the zero-allocation per-packet hot path:
+//! CGRA inference through the precompiled ExecPlan, the full pipeline's
+//! `process_prepared`, and the switch-level verdict-only entry point.
+//! Complements the `hotpath` binary (which reports wall-clock pkts/s
+//! with a determinism cross-check and records the tracked trajectory
+//! in `results/BENCH_hotpath.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use taurus_core::apps::{AnomalyDetector, SynFloodDetector};
+use taurus_core::{EngineBackend, SwitchBuilder};
+use taurus_dataset::kdd::KddGenerator;
+use taurus_dataset::trace::{PacketTrace, TraceConfig};
+
+fn bench_hotpath(c: &mut Criterion) {
+    let detector = AnomalyDetector::train_default(3, 800);
+    let syn = SynFloodDetector::default_deployment();
+    let records = KddGenerator::new(42).take(400);
+    let trace = PacketTrace::expand(records, &TraceConfig::default());
+    let n = trace.packets.len();
+
+    // Raw engine: one compiled-DNN inference through the ExecPlan slab.
+    c.bench_function("hotpath/cgra_process_into/dnn", |b| {
+        let mut sim = taurus_cgra::CgraSim::shared(std::sync::Arc::clone(&detector.program));
+        let mut outputs = Vec::new();
+        let x = vec![4i32; detector.program.graph.input_width()];
+        b.iter(|| black_box(sim.process_into(black_box(&x), &mut outputs)))
+    });
+
+    // Full per-packet path, CGRA roster.
+    c.bench_function(&format!("hotpath/switch_cgra/{n}pkts"), |b| {
+        let mut switch = SwitchBuilder::new().register(&detector).build();
+        b.iter(|| {
+            switch.reset();
+            for tp in &trace.packets {
+                black_box(switch.process_trace_packet(tp));
+            }
+        })
+    });
+
+    // Full per-packet path, threshold roster (non-engine overheads).
+    c.bench_function(&format!("hotpath/switch_threshold/{n}pkts"), |b| {
+        let mut switch = SwitchBuilder::new().register_on(&syn, EngineBackend::Threshold).build();
+        b.iter(|| {
+            switch.reset();
+            for tp in &trace.packets {
+                black_box(switch.process_trace_packet(tp));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Hot-path packet rate: wall-clock pkts/s of the per-packet path, the
+//! number the zero-allocation refactor is tracked against.
+//!
+//! Two rosters are measured, spanning both engine families:
+//!
+//! - **cgra** — the anomaly-detection DNN on the cycle-level CGRA
+//!   simulator (the expensive paper path: parse → registers → MATs →
+//!   formatter → compiled MapReduce program → verdict MATs);
+//! - **threshold** — the SYN-flood linear scorer on the heuristic
+//!   backend (the cheap path, where per-packet overheads outside the
+//!   engine dominate).
+//!
+//! Each roster reports the sequential switch rate plus the sharded
+//! runtime's wall-clock rate at 1/2/4/8 shards, with the merged report
+//! cross-checked against the sequential switch on every configuration —
+//! a throughput number that silently diverged from the architecture's
+//! semantics would be meaningless.
+//!
+//! `results/BENCH_hotpath.json` is the tracked trajectory artifact:
+//! regenerate with `TAURUS_REGEN_GOLDEN=1 cargo run --release -p
+//! taurus-bench --bin hotpath`. The recorded `baseline` block is the
+//! pre-refactor tree's measurement (same machine class, same workload),
+//! against which the tentpole's ≥3× single-shard CGRA speedup is
+//! asserted. `--smoke` runs a small configuration for CI (exactness
+//! asserts only; no file writes, no speedup assert — CI containers are
+//! too noisy to gate on wall clock).
+//!
+//! Run with: `cargo run --release -p taurus-bench --bin hotpath`
+
+use std::time::Instant;
+
+use taurus_bench::json::Json;
+use taurus_bench::{f, print_table};
+use taurus_core::apps::{AnomalyDetector, SynFloodDetector};
+use taurus_core::{EngineBackend, SwitchBuilder, TaurusSwitch};
+use taurus_dataset::kdd::KddGenerator;
+use taurus_dataset::trace::{PacketTrace, TraceConfig};
+use taurus_runtime::RuntimeBuilder;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Single-shard CGRA-roster pkts/s measured on the pre-refactor tree
+/// (commit 104ffd3: HashMap lanes, per-consumption copies, per-packet
+/// formatter/feature allocations) with this binary's full workload on
+/// the same machine that produced `results/BENCH_hotpath.json`.
+/// Override with `TAURUS_HOTPATH_BASELINE_PPS` when re-baselining on
+/// different hardware.
+const PRE_REFACTOR_CGRA_SEQ_PPS: f64 = 427_484.0;
+
+/// Pre-refactor single-shard threshold-roster pkts/s (same provenance).
+const PRE_REFACTOR_THRESHOLD_SEQ_PPS: f64 = 6_845_583.0;
+
+struct RosterResult {
+    name: &'static str,
+    packets: u64,
+    seq_pps: f64,
+    /// `(shards, wall pkts/s)`, exactness-checked against `seq_report`.
+    shard_pps: Vec<(usize, f64)>,
+}
+
+fn measure_roster(
+    name: &'static str,
+    trace: &PacketTrace,
+    build_switch: impl Fn() -> TaurusSwitch,
+    build_runtime: impl Fn(usize) -> taurus_runtime::ShardedRuntime,
+) -> RosterResult {
+    // Sequential reference: one warm-up pass (fills flow registers,
+    // grows every reusable buffer to steady state), then a timed pass
+    // over the same packets.
+    let mut switch = build_switch();
+    for tp in &trace.packets {
+        switch.process_trace_packet(tp);
+    }
+    let golden = switch.report();
+    switch.reset();
+    let t0 = Instant::now();
+    for tp in &trace.packets {
+        switch.process_trace_packet(tp);
+    }
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let seq_pps = trace.packets.len() as f64 / seq_secs;
+    assert_eq!(switch.report(), golden, "warm-up and timed passes diverged");
+
+    let mut shard_pps = Vec::new();
+    for shards in SHARD_COUNTS {
+        let mut rt = build_runtime(shards);
+        // Warm-up + timed, mirroring the sequential methodology.
+        rt.run_trace(trace);
+        rt.reset();
+        let t0 = Instant::now();
+        let report = rt.run_trace(trace);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            report.merged, golden,
+            "{name}: sharded runtime diverged from the sequential switch at {shards} shards"
+        );
+        shard_pps.push((shards, trace.packets.len() as f64 / secs));
+    }
+    RosterResult { name, packets: trace.packets.len() as u64, seq_pps, shard_pps }
+}
+
+fn roster_json(r: &RosterResult, baseline_pps: f64) -> Json {
+    Json::Object(vec![
+        ("packets", Json::UInt(r.packets)),
+        ("baseline_seq_pps", Json::Float(baseline_pps)),
+        ("seq_pps", Json::Float(r.seq_pps)),
+        ("speedup_vs_baseline", Json::Float(r.seq_pps / baseline_pps)),
+        (
+            "shards",
+            Json::Array(
+                r.shard_pps
+                    .iter()
+                    .map(|&(shards, pps)| {
+                        Json::Object(vec![
+                            ("shards", Json::UInt(shards as u64)),
+                            ("wall_pps", Json::Float(pps)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (train_n, trace_n) = if smoke { (600, 400) } else { (2_000, 6_000) };
+
+    println!("training the anomaly-detection DNN ({train_n} records)…");
+    let detector = AnomalyDetector::train_default(3, train_n);
+    let syn = SynFloodDetector::default_deployment();
+    let records = KddGenerator::new(42).take(trace_n);
+    let trace = PacketTrace::expand(records, &TraceConfig::default());
+    println!("default KDD trace: {} packets", trace.packets.len());
+
+    let cgra = measure_roster(
+        "cgra",
+        &trace,
+        || SwitchBuilder::new().register(&detector).build(),
+        |shards| RuntimeBuilder::new().shards(shards).batch_size(256).register(&detector).build(),
+    );
+    let threshold = measure_roster(
+        "threshold",
+        &trace,
+        || SwitchBuilder::new().register_on(&syn, EngineBackend::Threshold).build(),
+        |shards| {
+            RuntimeBuilder::new()
+                .shards(shards)
+                .batch_size(256)
+                .register_on(&syn, EngineBackend::Threshold)
+                .build()
+        },
+    );
+
+    let baseline_cgra = std::env::var("TAURUS_HOTPATH_BASELINE_PPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PRE_REFACTOR_CGRA_SEQ_PPS);
+    let baseline_threshold = PRE_REFACTOR_THRESHOLD_SEQ_PPS;
+
+    let mut rows = Vec::new();
+    for (r, baseline) in [(&cgra, baseline_cgra), (&threshold, baseline_threshold)] {
+        rows.push(vec![
+            r.name.to_string(),
+            "seq".to_string(),
+            f(r.seq_pps, 0),
+            f(r.seq_pps / baseline, 2),
+        ]);
+        for &(shards, pps) in &r.shard_pps {
+            rows.push(vec![
+                r.name.to_string(),
+                format!("{shards} shard(s)"),
+                f(pps, 0),
+                String::new(),
+            ]);
+        }
+    }
+    print_table(
+        "Hot-path packet rate (wall clock, determinism-checked)",
+        &["roster", "config", "pkts/s", "vs pre-refactor"],
+        &rows,
+    );
+
+    let speedup = cgra.seq_pps / baseline_cgra;
+    println!(
+        "\nsingle-shard CGRA roster: {:.0} pkts/s vs {:.0} pre-refactor — {speedup:.2}x",
+        cgra.seq_pps, baseline_cgra
+    );
+
+    if !smoke {
+        // Snapshot first, assert second: the tracked artifact must be
+        // regenerable on any hardware, and it always records the
+        // canonical pre-refactor constants (TAURUS_HOTPATH_BASELINE_PPS
+        // only retargets the assert, never the recorded baseline).
+        if std::env::var("TAURUS_REGEN_GOLDEN").is_ok() {
+            let doc = Json::Object(vec![
+                ("workload", Json::Str(format!("kdd seed 42, {trace_n} records"))),
+                ("cgra", roster_json(&cgra, PRE_REFACTOR_CGRA_SEQ_PPS)),
+                ("threshold", roster_json(&threshold, PRE_REFACTOR_THRESHOLD_SEQ_PPS)),
+            ]);
+            let dir = std::path::Path::new("results");
+            let _ = std::fs::create_dir_all(dir);
+            let mut text = doc.pretty();
+            text.push('\n');
+            std::fs::write(dir.join("BENCH_hotpath.json"), text).expect("write snapshot");
+            println!("wrote results/BENCH_hotpath.json");
+        }
+        assert!(
+            speedup >= 3.0,
+            "hot-path regression: single-shard CGRA roster must stay >=3x the pre-refactor \
+             baseline (got {speedup:.2}x; re-baseline with TAURUS_HOTPATH_BASELINE_PPS if the \
+             hardware class changed)"
+        );
+    } else {
+        println!("smoke mode: exactness checked at every shard count; no snapshot written");
+    }
+}

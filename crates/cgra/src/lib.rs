@@ -8,6 +8,21 @@
 //! using the same network-cost model as the compiler's static analysis
 //! (§5.1.3's 1 GHz, 5-cycle-MapReduce, ~5-cycles-per-movement costs).
 //!
+//! # The compiled execution plan
+//!
+//! The pipeline is static: the firing order, every operand location,
+//! and the whole cycle calculation depend only on the program, never on
+//! a packet's values. [`CgraSim::shared`] therefore compiles the unit
+//! list once into an [`ExecPlan`] — a dense `NodeId → (offset, width)`
+//! slot map into one reusable `i32` slab plus a flattened op schedule
+//! with all graph lookups (weight banks, biases, requantizers, LUT ids,
+//! const vectors) resolved up front — and the per-packet path executes
+//! that plan by reading and writing slab slices in place. Steady-state
+//! [`CgraSim::process_into`] performs **zero heap allocations** (pinned
+//! by the counting-allocator test in `tests/no_alloc.rs`), where the
+//! previous implementation built a `HashMap` of lane vectors per packet
+//! and copied every operand on consumption.
+//!
 //! Two properties are enforced by this crate's tests and the cross-crate
 //! integration suite:
 //!
@@ -17,22 +32,20 @@
 //!    time-multiplexed (under-unrolled) and recurrent (LSTM) ones.
 //! 2. **Timing agreement** — the measured per-packet latency equals the
 //!    compiler's static [`TimingReport`], validating the static analysis
-//!    against an independent event-driven execution.
+//!    against an independent event-driven execution. (The cycle math is
+//!    evaluated once per program at plan-build time — it is per-program,
+//!    not per-packet — using the identical arrival/egress model.)
 //!
 //! [`TimingReport`]: taurus_compiler::TimingReport
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use taurus_compiler::timing::edge_cost;
-use taurus_compiler::vu::{RowWork, VuKind};
+use taurus_compiler::vu::VuKind;
 use taurus_compiler::GridProgram;
+use taurus_fixed::quant::Requantizer;
 use taurus_ir::graph::Operand;
-use taurus_ir::{eval_map, eval_reduce, matvec_row, sqdist_row, NodeId, Op};
-
-/// Per-node lane buffers built up while a step fires (DotCu groups fill
-/// lanes incrementally).
-type Lanes = HashMap<NodeId, Vec<Option<i32>>>;
+use taurus_ir::{eval_map, eval_reduce, matvec_row, sqdist_row, MapOp, NodeId, Op, ReduceOp};
 
 /// Result of processing one packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,17 +73,281 @@ pub struct StreamStats {
     pub throughput_ppc: f64,
 }
 
+/// A node's value region inside the slab: `slab[off..off + len]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    off: u32,
+    len: u32,
+}
+
+impl Slot {
+    #[inline]
+    fn range(self) -> core::ops::Range<usize> {
+        self.off as usize..(self.off + self.len) as usize
+    }
+}
+
+/// A fused tail stage of a dot-product row (bias add or requantize),
+/// with its parameters resolved at plan-build time.
+#[derive(Debug, Clone)]
+enum FusedOp {
+    /// `acc += bias[row]`.
+    Bias(Vec<i32>),
+    /// `acc = requant(acc)`.
+    Requant(Requantizer),
+}
+
+/// One DotCu row group: the rows a physical CU computes, with the fused
+/// bias/requant chain and all operand locations precompiled.
+#[derive(Debug, Clone)]
+struct DotWork {
+    /// Weight bank index in the program graph.
+    bank: u32,
+    /// Input vector location.
+    input: Slot,
+    /// MatVec zero point (0 for SqDist).
+    zero_point: i32,
+    /// Squared-distance rather than dot-product rows.
+    sqdist: bool,
+    /// Row indices this CU computes.
+    rows: Vec<usize>,
+    /// Fused tail stages, in firing order.
+    fused: Vec<FusedOp>,
+    /// Start of the destination (fused-chain tail) node's region; row
+    /// `r` lands at `dst_off + r`.
+    dst_off: u32,
+}
+
+/// One precompiled firing: every graph lookup already resolved, every
+/// operand a slab slice.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    /// Load the packet's feature vector (the PHV interface).
+    Input { dst: Slot },
+    /// Materialize a constant vector.
+    Const { values: Vec<i32>, dst: Slot },
+    /// Element-wise map with a node operand (`b.len == 1` broadcasts).
+    MapNode { op: MapOp, a: Slot, b: Slot, dst: Slot },
+    /// Element-wise map with a constant operand (`len == 1` broadcasts).
+    MapConst { op: MapOp, a: Slot, values: Vec<i32>, dst: Slot },
+    /// Reduce a vector to one lane.
+    Reduce { op: ReduceOp, src: Slot, dst_off: u32 },
+    /// Dot-product / squared-distance row group with fused tail.
+    Dot(DotWork),
+    /// `dst = src + bias` (standalone, unfused bias).
+    AddBias { bias: Vec<i32>, src: Slot, dst: Slot },
+    /// Requantize `i32` accumulators to int8 codes (standalone).
+    Requant { requant: Requantizer, src: Slot, dst: Slot },
+    /// 256-entry LUT lookup (table index into the program graph).
+    Lut { lut: u32, src: Slot, dst: Slot },
+    /// Lane-wise `> 0`.
+    GreaterZero { src: Slot, dst: Slot },
+    /// Static routing: copy `len` lanes from `src_off` to `dst_off`
+    /// (slice extraction and single-input concats).
+    Copy { src_off: u32, len: u32, dst_off: u32 },
+    /// Concatenate several regions into `dst`, in order.
+    Concat { srcs: Vec<Slot>, dst: Slot },
+    /// Read a persistent state vector into the slab.
+    StateRead { state: u32, dst: Slot },
+    /// Stage a persistent state write (committed at end of step) and
+    /// pass the value through.
+    StateWrite { state: u32, src: Slot, dst: Slot },
+}
+
+/// The compiled per-packet schedule for one [`GridProgram`]: built once
+/// in [`CgraSim::shared`], executed allocation-free per packet.
+#[derive(Debug, Clone)]
+struct ExecPlan {
+    /// Flattened firing schedule in unit (level, index) order.
+    ops: Vec<PlanOp>,
+    /// Output node regions, in declaration order.
+    outputs: Vec<Slot>,
+    /// Total slab length (sum of node widths).
+    slab_len: usize,
+    /// Ingress-to-egress latency of one recurrence step, from the same
+    /// arrival/egress model the static analysis uses.
+    step_latency: u32,
+}
+
+impl ExecPlan {
+    /// Compiles a program's unit list into the flat schedule. The
+    /// firing order, slot layout, and cycle model mirror the original
+    /// event-driven loop exactly — this is a staging transformation,
+    /// not a semantic one.
+    fn compile(program: &GridProgram) -> Self {
+        let graph = &program.graph;
+        let units = &program.units;
+
+        // Dense NodeId → slab slot map.
+        let mut slots = Vec::with_capacity(graph.nodes().len());
+        let mut off = 0u32;
+        for node in graph.nodes() {
+            slots.push(Slot { off, len: node.width as u32 });
+            off += node.width as u32;
+        }
+        let slot = |id: NodeId| slots[id.0 as usize];
+
+        // Topological firing order (by placement level), as before.
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        order.sort_by_key(|&i| (program.placement.levels[i], i));
+
+        // Per-program cycle math: arrival times under the shared network
+        // model, then egress from every output-producing unit.
+        let mut complete = vec![0u32; units.len()];
+        for &i in &order {
+            let vu = &units[i];
+            let fanin =
+                vu.deps.iter().filter(|d| units[d.0 as usize].kind != VuKind::WeightMu).count();
+            let arrive = vu
+                .deps
+                .iter()
+                .map(|d| {
+                    let di = d.0 as usize;
+                    let src = &units[di];
+                    let dist = program.placement.distance(di, i);
+                    complete[di] + edge_cost(src, fanin, dist, src.kind == VuKind::Interface)
+                })
+                .max()
+                .unwrap_or(0);
+            complete[i] = arrive + vu.latency;
+        }
+        let out_nodes: std::collections::HashSet<_> = graph.outputs().iter().copied().collect();
+        let mut step_latency = 0u32;
+        for (i, vu) in units.iter().enumerate() {
+            if vu.produces.iter().any(|(n, _)| out_nodes.contains(n)) {
+                step_latency =
+                    step_latency.max(complete[i] + taurus_compiler::timing::INTERFACE_BASE + 2);
+            }
+        }
+
+        // Flatten the schedule. Lane-split units list the same node more
+        // than once across units; evaluation is idempotent (each split
+        // recomputes the full vector), so each node is scheduled once.
+        let mut ops = Vec::new();
+        let mut scheduled = vec![false; graph.nodes().len()];
+        for &i in &order {
+            let vu = &units[i];
+            match vu.kind {
+                VuKind::Interface => {
+                    let id = vu.nodes[0];
+                    if !scheduled[id.0 as usize] {
+                        scheduled[id.0 as usize] = true;
+                        ops.push(PlanOp::Input { dst: slot(id) });
+                    }
+                }
+                VuKind::WeightMu => {}
+                VuKind::DotCu => {
+                    for rw in &vu.row_work {
+                        let node = graph.node(rw.node);
+                        let (bank, input, zero_point, sqdist) = match node.op {
+                            Op::MatVec { weights, zero_point, input } => {
+                                (weights.0, input, zero_point, false)
+                            }
+                            Op::SqDist { weights, input } => (weights.0, input, 0, true),
+                            _ => unreachable!("dot row work on non-dot node"),
+                        };
+                        let fused = rw
+                            .fused
+                            .iter()
+                            .map(|&f| match &graph.node(f).op {
+                                Op::AddBias { bias, .. } => FusedOp::Bias(bias.clone()),
+                                Op::Requant { requant, .. } => FusedOp::Requant(*requant),
+                                other => unreachable!("unsupported fused op {other:?}"),
+                            })
+                            .collect();
+                        let final_node = rw.fused.last().copied().unwrap_or(rw.node);
+                        ops.push(PlanOp::Dot(DotWork {
+                            bank,
+                            input: slot(input),
+                            zero_point,
+                            sqdist,
+                            rows: rw.rows.clone(),
+                            fused,
+                            dst_off: slot(final_node).off,
+                        }));
+                    }
+                }
+                VuKind::Wire | VuKind::Cu | VuKind::LutCu | VuKind::StateMu => {
+                    for &nid in &vu.nodes {
+                        if scheduled[nid.0 as usize] {
+                            continue;
+                        }
+                        scheduled[nid.0 as usize] = true;
+                        ops.push(Self::compile_node(graph, nid, &slot));
+                    }
+                }
+            }
+        }
+
+        let outputs = graph.outputs().iter().map(|&o| slot(o)).collect();
+        ExecPlan { ops, outputs, slab_len: off as usize, step_latency }
+    }
+
+    fn compile_node(graph: &taurus_ir::Graph, id: NodeId, slot: &dyn Fn(NodeId) -> Slot) -> PlanOp {
+        let dst = slot(id);
+        match &graph.node(id).op {
+            Op::Input { .. } => unreachable!("input handled by the interface unit"),
+            Op::Const { values } => PlanOp::Const { values: values.clone(), dst },
+            Op::Map { op, a, b } => match b {
+                Operand::Node(n) => PlanOp::MapNode { op: *op, a: slot(*a), b: slot(*n), dst },
+                Operand::Const(c) => {
+                    PlanOp::MapConst { op: *op, a: slot(*a), values: c.clone(), dst }
+                }
+            },
+            Op::Reduce { op, input } => {
+                PlanOp::Reduce { op: *op, src: slot(*input), dst_off: dst.off }
+            }
+            Op::MatVec { .. } | Op::SqDist { .. } => {
+                unreachable!("dot nodes handled by DotCu units")
+            }
+            Op::AddBias { bias, input } => {
+                PlanOp::AddBias { bias: bias.clone(), src: slot(*input), dst }
+            }
+            Op::Requant { requant, input } => {
+                PlanOp::Requant { requant: *requant, src: slot(*input), dst }
+            }
+            Op::Lut { lut, input } => PlanOp::Lut { lut: lut.0, src: slot(*input), dst },
+            Op::GreaterZero { input } => PlanOp::GreaterZero { src: slot(*input), dst },
+            Op::Concat { inputs } => {
+                // Concat of one input is a plain copy; wider concats are
+                // emitted as one op that walks the pieces at exec time.
+                if let [single] = inputs.as_slice() {
+                    let src = slot(*single);
+                    PlanOp::Copy { src_off: src.off, len: src.len, dst_off: dst.off }
+                } else {
+                    PlanOp::Concat { srcs: inputs.iter().map(|&n| slot(n)).collect(), dst }
+                }
+            }
+            Op::Slice { input, start, len } => PlanOp::Copy {
+                src_off: slot(*input).off + *start as u32,
+                len: *len as u32,
+                dst_off: dst.off,
+            },
+            Op::StateRead { state } => PlanOp::StateRead { state: state.0, dst },
+            Op::StateWrite { state, input } => {
+                PlanOp::StateWrite { state: state.0, src: slot(*input), dst }
+            }
+        }
+    }
+}
+
 /// The simulator: owns persistent state, shares the compiled program
 /// (`Arc`, so many simulators/switches can run one compilation without
-/// borrow lifetimes), and streams packets through it.
+/// borrow lifetimes), and streams packets through its precompiled
+/// [`ExecPlan`].
 #[derive(Debug, Clone)]
 pub struct CgraSim {
     program: Arc<GridProgram>,
     /// Persistent state vectors (survive across packets, like MU-resident
     /// LSTM state).
     state: Vec<Vec<i32>>,
-    /// Topological firing order (by placement level).
-    order: Vec<usize>,
+    /// The compiled schedule (per-program, allocation-free per packet).
+    plan: ExecPlan,
+    /// The reusable value slab all plan ops read and write.
+    slab: Vec<i32>,
+    /// Staged state writes (committed at end of each recurrence step).
+    pending: Vec<Vec<i32>>,
+    pending_written: Vec<bool>,
 }
 
 impl CgraSim {
@@ -81,12 +358,16 @@ impl CgraSim {
         Self::shared(Arc::new(program.clone()))
     }
 
-    /// Creates a simulator sharing an already-compiled program.
+    /// Creates a simulator sharing an already-compiled program, compiling
+    /// its execution plan once.
     pub fn shared(program: Arc<GridProgram>) -> Self {
-        let state = program.graph.states().iter().map(|s| vec![0i32; s.width]).collect();
-        let mut order: Vec<usize> = (0..program.units.len()).collect();
-        order.sort_by_key(|&i| (program.placement.levels[i], i));
-        Self { program, state, order }
+        let state: Vec<Vec<i32>> =
+            program.graph.states().iter().map(|s| vec![0i32; s.width]).collect();
+        let plan = ExecPlan::compile(&program);
+        let slab = vec![0i32; plan.slab_len];
+        let pending = state.clone();
+        let pending_written = vec![false; state.len()];
+        Self { program, state, plan, slab, pending, pending_written }
     }
 
     /// The compiled program this simulator executes.
@@ -106,17 +387,35 @@ impl CgraSim {
     ///
     /// Panics if `input` width differs from the program's input node.
     pub fn process(&mut self, input: &[i32]) -> PacketResult {
-        let graph = &self.program.graph;
-        assert_eq!(input.len(), graph.input_width(), "input width mismatch");
-        let steps = graph.sequence_steps();
         let mut outputs = Vec::new();
-        let mut step_latency = 0u32;
+        let latency_cycles = self.process_into(input, &mut outputs);
+        PacketResult { outputs, latency_cycles }
+    }
+
+    /// Processes one packet, writing outputs into caller-owned buffers
+    /// (cleared and refilled; capacity is reused across packets, so the
+    /// steady state allocates nothing). Returns the measured
+    /// ingress-to-egress latency in cycles.
+    ///
+    /// All recurrence steps execute over the same slab; only the final
+    /// step's outputs are gathered — a recurrent program no longer
+    /// materializes (and discards) every intermediate step's outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` width differs from the program's input node.
+    pub fn process_into(&mut self, input: &[i32], outputs: &mut Vec<Vec<i32>>) -> u32 {
+        assert_eq!(input.len(), self.program.graph.input_width(), "input width mismatch");
+        let steps = self.program.graph.sequence_steps();
         for _ in 0..steps {
-            let (out, lat) = self.run_step(input);
-            outputs = out;
-            step_latency = lat;
+            self.exec_step(input);
         }
-        PacketResult { outputs, latency_cycles: step_latency * steps as u32 }
+        outputs.resize_with(self.plan.outputs.len(), Vec::new);
+        for (buf, slot) in outputs.iter_mut().zip(&self.plan.outputs) {
+            buf.clear();
+            buf.extend_from_slice(&self.slab[slot.range()]);
+        }
+        self.plan.step_latency * steps as u32
     }
 
     /// Streams a batch of packets and reports throughput.
@@ -140,163 +439,105 @@ impl CgraSim {
         }
     }
 
-    /// One recurrence step: event-driven firing in dependency order,
-    /// returning outputs and the step's ingress-to-egress latency.
-    fn run_step(&mut self, input: &[i32]) -> (Vec<Vec<i32>>, u32) {
-        let program = Arc::clone(&self.program);
+    /// One recurrence step: runs the precompiled schedule over the slab,
+    /// then commits staged state writes.
+    fn exec_step(&mut self, input: &[i32]) {
+        let Self { program, state, plan, slab, pending, pending_written, .. } = self;
         let graph = &program.graph;
-        let units = &program.units;
-
-        // Per-node lane buffers (DotCu groups fill lanes incrementally).
-        let mut lanes: Lanes = HashMap::new();
-        let mut pending_state: Vec<(usize, Vec<i32>)> = Vec::new();
-        let mut complete = vec![0u32; units.len()];
-
-        let full = |lanes: &Lanes, id: NodeId| -> Vec<i32> {
-            lanes
-                .get(&id)
-                .unwrap_or_else(|| panic!("node {id:?} not yet produced"))
-                .iter()
-                .map(|v| v.expect("all lanes filled before consumption"))
-                .collect()
-        };
-
-        for &i in &self.order {
-            let vu = &units[i];
-            // Arrival time: producers' completion plus network cost —
-            // identical cost model to the compiler's static analysis.
-            let fanin =
-                vu.deps.iter().filter(|d| units[d.0 as usize].kind != VuKind::WeightMu).count();
-            let arrive = vu
-                .deps
-                .iter()
-                .map(|d| {
-                    let di = d.0 as usize;
-                    let src = &units[di];
-                    let dist = program.placement.distance(di, i);
-                    complete[di] + edge_cost(src, fanin, dist, src.kind == VuKind::Interface)
-                })
-                .max()
-                .unwrap_or(0);
-            complete[i] = arrive + vu.latency;
-
-            // Fire: evaluate the unit's configuration.
-            match vu.kind {
-                VuKind::Interface => {
-                    let id = vu.nodes[0];
-                    lanes.insert(id, input.iter().map(|&v| Some(v)).collect());
-                }
-                VuKind::WeightMu => {}
-                VuKind::DotCu => {
-                    for rw in &vu.row_work {
-                        self.fire_dot(rw, &mut lanes, &full);
+        for op in &plan.ops {
+            match op {
+                PlanOp::Input { dst } => slab[dst.range()].copy_from_slice(input),
+                PlanOp::Const { values, dst } => slab[dst.range()].copy_from_slice(values),
+                PlanOp::MapNode { op, a, b, dst } => {
+                    let (ao, bo, bl, d) =
+                        (a.off as usize, b.off as usize, b.len as usize, dst.off as usize);
+                    for j in 0..dst.len as usize {
+                        let bv = slab[bo + if bl == 1 { 0 } else { j }];
+                        slab[d + j] = eval_map(*op, slab[ao + j], bv);
                     }
                 }
-                VuKind::Wire | VuKind::Cu | VuKind::LutCu | VuKind::StateMu => {
-                    for &nid in &vu.nodes {
-                        let value = self.eval_node(nid, &lanes, &full, &mut pending_state);
-                        lanes.insert(nid, value.into_iter().map(Some).collect());
+                PlanOp::MapConst { op, a, values, dst } => {
+                    let (ao, d) = (a.off as usize, dst.off as usize);
+                    for j in 0..dst.len as usize {
+                        let bv = if values.len() == 1 { values[0] } else { values[j] };
+                        slab[d + j] = eval_map(*op, slab[ao + j], bv);
                     }
+                }
+                PlanOp::Reduce { op, src, dst_off } => {
+                    slab[*dst_off as usize] = eval_reduce(*op, &slab[src.range()]);
+                }
+                PlanOp::Dot(dw) => {
+                    let bank = graph.weights().get(dw.bank as usize).expect("bank resolved");
+                    for &r in &dw.rows {
+                        let x = &slab[dw.input.range()];
+                        let mut acc = if dw.sqdist {
+                            sqdist_row(bank.row(r), x)
+                        } else {
+                            matvec_row(bank.row(r), x, dw.zero_point)
+                        };
+                        for f in &dw.fused {
+                            acc = match f {
+                                FusedOp::Bias(bias) => acc.wrapping_add(bias[r]),
+                                FusedOp::Requant(rq) => i32::from(rq.apply(acc)),
+                            };
+                        }
+                        slab[dw.dst_off as usize + r] = acc;
+                    }
+                }
+                PlanOp::AddBias { bias, src, dst } => {
+                    let (so, d) = (src.off as usize, dst.off as usize);
+                    for j in 0..dst.len as usize {
+                        slab[d + j] = slab[so + j].wrapping_add(bias[j]);
+                    }
+                }
+                PlanOp::Requant { requant, src, dst } => {
+                    let (so, d) = (src.off as usize, dst.off as usize);
+                    for j in 0..dst.len as usize {
+                        slab[d + j] = i32::from(requant.apply(slab[so + j]));
+                    }
+                }
+                PlanOp::Lut { lut, src, dst } => {
+                    let table = graph.lut(taurus_ir::LutId(*lut));
+                    let (so, d) = (src.off as usize, dst.off as usize);
+                    for j in 0..dst.len as usize {
+                        let code = slab[so + j].clamp(-128, 127);
+                        slab[d + j] = i32::from(table[(code + 128) as usize]);
+                    }
+                }
+                PlanOp::GreaterZero { src, dst } => {
+                    let (so, d) = (src.off as usize, dst.off as usize);
+                    for j in 0..dst.len as usize {
+                        slab[d + j] = i32::from(slab[so + j] > 0);
+                    }
+                }
+                PlanOp::Copy { src_off, len, dst_off } => {
+                    let (s, l) = (*src_off as usize, *len as usize);
+                    slab.copy_within(s..s + l, *dst_off as usize);
+                }
+                PlanOp::Concat { srcs, dst } => {
+                    let mut d = dst.off as usize;
+                    for s in srcs {
+                        slab.copy_within(s.range(), d);
+                        d += s.len as usize;
+                    }
+                }
+                PlanOp::StateRead { state: idx, dst } => {
+                    slab[dst.range()].copy_from_slice(&state[*idx as usize]);
+                }
+                PlanOp::StateWrite { state: idx, src, dst } => {
+                    let i = *idx as usize;
+                    pending[i].copy_from_slice(&slab[src.range()]);
+                    pending_written[i] = true;
+                    slab.copy_within(src.range(), dst.off as usize);
                 }
             }
         }
-
-        // Egress timing.
-        let out_nodes: std::collections::HashSet<_> = graph.outputs().iter().copied().collect();
-        let mut latency = 0u32;
-        for (i, vu) in units.iter().enumerate() {
-            if vu.produces.iter().any(|(n, _)| out_nodes.contains(n)) {
-                latency = latency.max(complete[i] + taurus_compiler::timing::INTERFACE_BASE + 2);
-            }
-        }
-
-        // Commit state at end of step.
-        for (idx, v) in pending_state {
-            self.state[idx] = v;
-        }
-
-        let outputs = graph.outputs().iter().map(|&o| full(&lanes, o)).collect();
-        (outputs, latency)
-    }
-
-    fn fire_dot(&self, rw: &RowWork, lanes: &mut Lanes, full: &dyn Fn(&Lanes, NodeId) -> Vec<i32>) {
-        let graph = &self.program.graph;
-        let node = graph.node(rw.node);
-        let (bank, input, zero_point, is_sqdist) = match node.op {
-            Op::MatVec { weights, zero_point, input } => (weights, input, zero_point, false),
-            Op::SqDist { weights, input } => (weights, input, 0, true),
-            _ => unreachable!("dot row work on non-dot node"),
-        };
-        let bank = graph.weight(bank);
-        let x = full(lanes, input);
-        let final_node = rw.fused.last().copied().unwrap_or(rw.node);
-        let width = graph.node(final_node).width;
-        let entry = lanes.entry(final_node).or_insert_with(|| vec![None; width]);
-        for &r in &rw.rows {
-            let mut acc = if is_sqdist {
-                sqdist_row(bank.row(r), &x)
-            } else {
-                matvec_row(bank.row(r), &x, zero_point)
-            };
-            for &f in &rw.fused {
-                acc = match &graph.node(f).op {
-                    Op::AddBias { bias, .. } => acc.wrapping_add(bias[r]),
-                    Op::Requant { requant, .. } => i32::from(requant.apply(acc)),
-                    other => unreachable!("unsupported fused op {other:?}"),
-                };
-            }
-            entry[r] = Some(acc);
-        }
-    }
-
-    fn eval_node(
-        &self,
-        id: NodeId,
-        lanes: &Lanes,
-        full: &dyn Fn(&Lanes, NodeId) -> Vec<i32>,
-        pending_state: &mut Vec<(usize, Vec<i32>)>,
-    ) -> Vec<i32> {
-        let graph = &self.program.graph;
-        match &graph.node(id).op {
-            Op::Input { .. } => unreachable!("input handled by the interface unit"),
-            Op::Const { values } => values.clone(),
-            Op::Map { op, a, b } => {
-                let av = full(lanes, *a);
-                let bv: Vec<i32> = match b {
-                    Operand::Node(n) => full(lanes, *n),
-                    Operand::Const(c) => c.clone(),
-                };
-                (0..av.len())
-                    .map(|j| eval_map(*op, av[j], if bv.len() == 1 { bv[0] } else { bv[j] }))
-                    .collect()
-            }
-            Op::Reduce { op, input } => vec![eval_reduce(*op, &full(lanes, *input))],
-            Op::MatVec { .. } | Op::SqDist { .. } => {
-                unreachable!("dot nodes handled by DotCu units")
-            }
-            Op::AddBias { bias, input } => {
-                full(lanes, *input).iter().zip(bias).map(|(&v, &b)| v.wrapping_add(b)).collect()
-            }
-            Op::Requant { requant, input } => {
-                full(lanes, *input).iter().map(|&v| i32::from(requant.apply(v))).collect()
-            }
-            Op::Lut { lut, input } => {
-                let table = graph.lut(*lut);
-                full(lanes, *input)
-                    .iter()
-                    .map(|&v| i32::from(table[(v.clamp(-128, 127) + 128) as usize]))
-                    .collect()
-            }
-            Op::GreaterZero { input } => {
-                full(lanes, *input).iter().map(|&v| i32::from(v > 0)).collect()
-            }
-            Op::Concat { inputs } => inputs.iter().flat_map(|&n| full(lanes, n)).collect(),
-            Op::Slice { input, start, len } => full(lanes, *input)[*start..*start + *len].to_vec(),
-            Op::StateRead { state } => self.state[state.0 as usize].clone(),
-            Op::StateWrite { state, input } => {
-                let v = full(lanes, *input);
-                pending_state.push((state.0 as usize, v.clone()));
-                v
+        // Commit state at end of step (reads within the step saw the
+        // previous packet/step's values).
+        for (i, written) in pending_written.iter_mut().enumerate() {
+            if *written {
+                state[i].copy_from_slice(&pending[i]);
+                *written = false;
             }
         }
     }
@@ -387,6 +628,26 @@ mod tests {
     }
 
     #[test]
+    fn process_into_reuses_buffers_and_matches_process() {
+        let g = microbench::inner_product();
+        let p = compile_default(&g);
+        let mut a = CgraSim::new(&p);
+        let mut b = CgraSim::new(&p);
+        let mut outputs = Vec::new();
+        for k in 0..10 {
+            let x: Vec<i32> = (0..16).map(|j| k * 13 + j - 20).collect();
+            let latency = a.process_into(&x, &mut outputs);
+            let want = b.process(&x);
+            assert_eq!(outputs, want.outputs);
+            assert_eq!(latency, want.latency_cycles);
+            let ptr_before = outputs[0].as_ptr();
+            let latency2 = a.process_into(&x, &mut outputs);
+            assert_eq!(latency2, latency);
+            assert_eq!(outputs[0].as_ptr(), ptr_before, "buffer reused in place");
+        }
+    }
+
+    #[test]
     fn stream_reports_line_rate_for_ii_1() {
         let g = microbench::inner_product();
         let p = compile_default(&g);
@@ -429,6 +690,76 @@ mod tests {
             let mut sim = CgraSim::new(&p);
             let mut interp = Interpreter::new(&g);
             prop_assert_eq!(sim.process(&input).outputs, interp.run(&input));
+        }
+
+        /// The ExecPlan equivalence net over the op families the map
+        /// chains above don't reach: dot-product/sq-dist row groups with
+        /// fused bias/requant tails, LUT lookups, persistent state
+        /// accumulation, and wire ops (concat/slice) — every output
+        /// bit-identical to the `taurus-ir` reference interpreter
+        /// across a stream of packets.
+        #[test]
+        fn prop_random_dot_programs_match_interpreter(
+            rows in 1usize..6,
+            cols in 1usize..9,
+            weights in proptest::collection::vec(-128i32..128, 48),
+            bias in proptest::collection::vec(-500i32..500, 6),
+            zp in -8i32..8,
+            mult in 0.01f64..1.5,
+            rq_zp in -10i32..10,
+            lut_mul in 1i32..7,
+            use_sqdist in proptest::any::<bool>(),
+            use_requant in proptest::any::<bool>(),
+            use_lut in proptest::any::<bool>(),
+            use_state in proptest::any::<bool>(),
+            inputs in proptest::collection::vec(
+                proptest::collection::vec(-100i32..100, 9), 1..5),
+        ) {
+            let mut b = GraphBuilder::new();
+            let x_full = b.input(cols);
+            let w = b.weights(
+                "w",
+                rows,
+                cols,
+                weights[..rows * cols].iter().map(|&v| v as i8).collect(),
+            );
+            let dot = if use_sqdist {
+                b.sq_dist_rows(w, x_full)
+            } else {
+                b.map_reduce_rows(w, x_full, zp)
+            };
+            let mut h = b.add_bias(dot, bias[..rows].to_vec());
+            if use_requant {
+                let rq = taurus_fixed::quant::Requantizer::from_real_multiplier(mult, rq_zp);
+                h = b.requant(h, rq);
+            }
+            if use_lut {
+                let table: Vec<i8> = (0..256)
+                    .map(|i| (((i - 128) * lut_mul) % 127) as i8)
+                    .collect();
+                let t = b.lut(table);
+                h = b.lookup(h, t);
+            }
+            if use_state {
+                let s = b.state("acc", rows);
+                let prev = b.state_read(s);
+                let sum = b.map(MapOp::Add, h, prev);
+                h = b.state_write(s, sum);
+            }
+            let red = b.reduce(taurus_ir::ReduceOp::Max, h);
+            let gz = b.greater_zero(h);
+            let cat = b.concat(vec![h, gz]);
+            let sl = b.slice(cat, rows / 2, rows);
+            b.output(h);
+            b.output(red);
+            b.output(sl);
+            let g = b.finish().expect("valid");
+            let p = compile_default(&g);
+            let mut sim = CgraSim::new(&p);
+            let mut interp = Interpreter::new(&g);
+            for x in &inputs {
+                prop_assert_eq!(sim.process(&x[..cols]).outputs, interp.run(&x[..cols]));
+            }
         }
     }
 }

@@ -1,0 +1,129 @@
+//! Allocation-regression guard for the CGRA hot path: after warm-up,
+//! [`CgraSim::process_into`] must perform **zero** heap allocations per
+//! packet — the whole point of the precompiled [`ExecPlan`] slab design.
+//!
+//! A counting global allocator (thread-local, so parallel test threads
+//! in this binary cannot interfere) wraps the system allocator; the
+//! steady-state loop replays packets through every microbenchmark
+//! program plus a recurrent state graph and asserts the counter stayed
+//! at zero.
+//!
+//! [`CgraSim::process_into`]: taurus_cgra::CgraSim::process_into
+//! [`ExecPlan`]: taurus_cgra
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use taurus_cgra::CgraSim;
+use taurus_compiler::{compile, CompileOptions, GridConfig};
+use taurus_ir::{microbench, GraphBuilder, MapOp};
+
+struct CountingAlloc;
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+impl CountingAlloc {
+    fn record() {
+        COUNTING.with(|c| {
+            if c.get() {
+                ALLOCS.with(|a| a.set(a.get() + 1));
+            }
+        });
+    }
+}
+
+// SAFETY: defers all allocation to `System`; the bookkeeping only
+// touches const-initialized thread-locals (no lazy init, no recursion
+// into the allocator).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting enabled on this thread and returns
+/// how many heap allocations it performed.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    ALLOCS.with(|a| a.get())
+}
+
+#[test]
+fn steady_state_process_into_allocates_nothing() {
+    for name in microbench::ALL_MICROBENCHMARKS {
+        let g = microbench::by_name(name);
+        let p = compile(&g, &GridConfig::default(), &CompileOptions::default()).expect("fits");
+        let mut sim = CgraSim::new(&p);
+        let w = g.input_width();
+        let inputs: Vec<Vec<i32>> = (0..8)
+            .map(|k| (0..w).map(|j| ((k * 31 + j * 7) % 255) as i32 - 127).collect())
+            .collect();
+
+        // Warm-up: grows the output buffers to steady state.
+        let mut outputs = Vec::new();
+        for x in &inputs {
+            sim.process_into(x, &mut outputs);
+        }
+
+        let n = allocations_in(|| {
+            for _ in 0..20 {
+                for x in &inputs {
+                    sim.process_into(x, &mut outputs);
+                }
+            }
+        });
+        assert_eq!(n, 0, "{name}: steady-state process_into allocated {n} times");
+    }
+}
+
+#[test]
+fn steady_state_recurrent_state_program_allocates_nothing() {
+    // A stateful accumulator exercises StateRead/StateWrite commit paths.
+    let mut b = GraphBuilder::new();
+    let x = b.input(4);
+    let s = b.state("acc", 4);
+    let prev = b.state_read(s);
+    let sum = b.map(MapOp::Add, x, prev);
+    let wr = b.state_write(s, sum);
+    let top = b.reduce(taurus_ir::ReduceOp::Max, wr);
+    b.output(wr);
+    b.output(top);
+    let g = b.finish().expect("valid");
+    let p = compile(&g, &GridConfig::default(), &CompileOptions::default()).expect("fits");
+    let mut sim = CgraSim::new(&p);
+
+    let mut outputs = Vec::new();
+    for k in 0..4 {
+        sim.process_into(&[k, k + 1, k + 2, k + 3], &mut outputs);
+    }
+    let n = allocations_in(|| {
+        for k in 0..200 {
+            sim.process_into(&[k, -k, k / 2, 1], &mut outputs);
+        }
+    });
+    assert_eq!(n, 0, "stateful steady state allocated {n} times");
+}

@@ -173,7 +173,9 @@ mod tests {
         }
 
         fn formatter(&self) -> FeatureFormatter {
-            Box::new(|f| vec![f.packets.min(127) as i32, f.syn_only.min(127) as i32])
+            Box::new(|f, out| {
+                out.extend_from_slice(&[f.packets.min(127) as i32, f.syn_only.min(127) as i32]);
+            })
         }
 
         fn post_tables(&self, _backend: EngineBackend) -> Vec<MatchTable> {

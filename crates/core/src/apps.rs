@@ -210,10 +210,10 @@ impl AnomalyDetector {
         let params = quantized.input_params();
         let formatter: FormatterFactory = Arc::new(move || {
             let standardizer = standardizer.clone();
-            Box::new(move |f: &taurus_pisa::registers::FlowFeatures| {
-                let mut row = f.encode_dnn6().to_vec();
+            Box::new(move |f: &taurus_pisa::registers::FlowFeatures, out: &mut Vec<i32>| {
+                let mut row = f.encode_dnn6();
                 standardizer.apply_row(&mut row);
-                row.iter().map(|&v| i32::from(params.quantize(v))).collect()
+                out.extend(row.iter().map(|&v| i32::from(params.quantize(v))));
             })
         });
         ModelUpdate {
@@ -247,10 +247,12 @@ impl TaurusApp for AnomalyDetector {
     fn formatter(&self) -> FeatureFormatter {
         let standardizer = self.standardizer.clone();
         let params = self.quantized.input_params();
-        Box::new(move |f| {
-            let mut row = f.encode_dnn6().to_vec();
+        Box::new(move |f, out| {
+            // Stack-resident row: encode, standardize, quantize without
+            // touching the heap (the out buffer is caller-reused).
+            let mut row = f.encode_dnn6();
             standardizer.apply_row(&mut row);
-            row.iter().map(|&v| i32::from(params.quantize(v))).collect()
+            out.extend(row.iter().map(|&v| i32::from(params.quantize(v))));
         })
     }
 
@@ -369,13 +371,13 @@ impl TaurusApp for SynFloodDetector {
     }
 
     fn formatter(&self) -> FeatureFormatter {
-        Box::new(|f| {
-            vec![
+        Box::new(|f, out| {
+            out.extend_from_slice(&[
                 f.syn_only.min(127) as i32,
                 f.dst_count.min(127) as i32,
                 f.srv_count.min(127) as i32,
                 f.packets.min(127) as i32,
-            ]
+            ]);
         })
     }
 

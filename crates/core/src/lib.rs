@@ -66,6 +66,6 @@ pub use engine::CgraEngine;
 pub use ingest::ObsBuilder;
 pub use switch::{
     AppCounters, AppReport, DuplicateAppError, ReportMergeError, SwitchBuilder, SwitchReport,
-    SwitchResult, TaurusSwitch,
+    SwitchResult, SwitchVerdict, TaurusSwitch,
 };
 pub use update::{EngineUpdate, FormatterFactory, ModelUpdate, UpdateError};

@@ -162,6 +162,20 @@ pub struct SwitchResult {
     pub per_app: Vec<PipelineResult>,
 }
 
+/// The combined per-packet outcome without the per-app breakdown — a
+/// plain value type, so hot loops that only need the verdict (the
+/// sharded runtime's workers) skip [`SwitchResult`]'s per-packet
+/// `per_app` vector allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchVerdict {
+    /// The combined forwarding decision (see [`SwitchResult::verdict`]).
+    pub verdict: Verdict,
+    /// Slowest app pipeline's latency, ns.
+    pub latency_ns: u64,
+    /// Whether every hosted app bypassed its ML block.
+    pub bypassed: bool,
+}
+
 struct HostedApp {
     name: String,
     reaction: ReactionTime,
@@ -370,12 +384,42 @@ impl TaurusSwitch {
         self.run_apps(|app| app.pipeline.process_prepared(pkt, obs, dst_count, srv_count))
     }
 
-    fn run_apps(&mut self, mut run: impl FnMut(&mut HostedApp) -> PipelineResult) -> SwitchResult {
+    /// [`TaurusSwitch::process_prepared`] without the per-app result
+    /// collection: identical counters, identical combined verdict, no
+    /// per-packet allocation — the entry point the sharded runtime's
+    /// worker loops use.
+    pub fn process_prepared_verdict(
+        &mut self,
+        pkt: &Packet,
+        obs: PacketObs,
+        dst_count: u64,
+        srv_count: u64,
+    ) -> SwitchVerdict {
+        self.run_apps_core(
+            |app| app.pipeline.process_prepared(pkt, obs, dst_count, srv_count),
+            |_| {},
+        )
+    }
+
+    fn run_apps(&mut self, run: impl FnMut(&mut HostedApp) -> PipelineResult) -> SwitchResult {
+        let mut per_app = Vec::with_capacity(self.apps.len());
+        let v = self.run_apps_core(run, |r| per_app.push(r));
+        SwitchResult { verdict: v.verdict, latency_ns: v.latency_ns, bypassed: v.bypassed, per_app }
+    }
+
+    /// The shared per-packet loop: runs every hosted app, maintains
+    /// per-app and aggregate counters, and combines enforcing verdicts.
+    /// `each` observes every app's result (used by [`SwitchResult`] to
+    /// collect the breakdown; the verdict-only path passes a no-op).
+    fn run_apps_core(
+        &mut self,
+        mut run: impl FnMut(&mut HostedApp) -> PipelineResult,
+        mut each: impl FnMut(PipelineResult),
+    ) -> SwitchVerdict {
         self.aggregate.packets += 1;
         let mut verdict = Verdict::Forward;
         let mut latency_ns = 0;
         let mut bypassed = true;
-        let mut per_app = Vec::with_capacity(self.apps.len());
         for app in &mut self.apps {
             let r = run(app);
             app.counters.packets += 1;
@@ -392,7 +436,7 @@ impl TaurusSwitch {
                 verdict = verdict.max_severity(r.verdict);
             }
             latency_ns = latency_ns.max(r.latency_ns);
-            per_app.push(r);
+            each(r);
         }
         if !bypassed {
             self.aggregate.ml_packets += 1;
@@ -402,7 +446,7 @@ impl TaurusSwitch {
             Verdict::Flag => self.aggregate.flagged += 1,
             Verdict::Forward => {}
         }
-        SwitchResult { verdict, latency_ns, bypassed, per_app }
+        SwitchVerdict { verdict, latency_ns, bypassed }
     }
 
     /// Processes one trace packet; returns the combined result.

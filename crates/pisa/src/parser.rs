@@ -47,8 +47,17 @@ impl Parser {
     /// the trace-driven simulations; byte round-trips are covered by
     /// [`Parser::parse_bytes`] tests).
     pub fn parse(&mut self, p: &Packet) -> Phv {
-        self.packets_parsed += 1;
         let mut phv = Phv::new();
+        self.parse_into(p, &mut phv);
+        phv
+    }
+
+    /// Loads an already-decoded packet into a caller-owned (resident)
+    /// PHV, resetting it first — the pipeline's per-packet entry point,
+    /// which recycles one PHV instead of constructing a fresh one.
+    pub fn parse_into(&mut self, p: &Packet, phv: &mut Phv) {
+        self.packets_parsed += 1;
+        phv.reset();
         phv.set(Field::SrcIp, i64::from(p.src_ip));
         phv.set(Field::DstIp, i64::from(p.dst_ip));
         phv.set(Field::SrcPort, i64::from(p.src_port));
@@ -57,7 +66,6 @@ impl Parser {
         phv.set(Field::TcpFlags, i64::from(p.tcp_flags));
         phv.set(Field::Len, i64::from(p.wire_len));
         phv.set(Field::TsNs, p.ts_ns as i64);
-        phv
     }
 
     /// Packets successfully parsed.

@@ -61,6 +61,13 @@ impl Phv {
         Self::default()
     }
 
+    /// Zeroes every field in place — how a resident PHV is recycled
+    /// between packets (the PHV is a fixed-layout value type, so this is
+    /// a memset, never an allocation).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
     /// Reads a field.
     pub fn get(&self, f: Field) -> i64 {
         match f {

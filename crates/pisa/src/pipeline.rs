@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::mat::{MatchTable, MAT_LATENCY_NS};
 use crate::packet::Packet;
 use crate::parser::{Parser, PARSE_LATENCY_NS};
-use crate::phv::Field;
+use crate::phv::{Field, Phv};
 use crate::registers::{FlowFeatures, FlowTracker, PacketObs};
 use crate::sched::RoundRobinJoin;
 
@@ -40,8 +40,11 @@ impl<E: InferenceEngine + ?Sized> InferenceEngine for Box<E> {
 
 /// A feature formatter: turns raw register-stage [`FlowFeatures`] into
 /// the integer codes a model consumes (standardization + quantization —
-/// conceptually MAT range tables).
-pub type FeatureFormatter = Box<dyn FnMut(&FlowFeatures) -> Vec<i32> + Send>;
+/// conceptually MAT range tables). Formatters *write into* a
+/// caller-owned buffer (cleared by the pipeline before each call), so
+/// the per-packet hot path reuses one scratch vector instead of
+/// allocating a fresh code vector per packet.
+pub type FeatureFormatter = Box<dyn FnMut(&FlowFeatures, &mut Vec<i32>) + Send>;
 
 /// A trivial engine: flags when the sum of features exceeds a threshold.
 /// Useful for tests and as the simplest possible "heuristic" baseline.
@@ -177,6 +180,10 @@ pub struct TaurusPipeline<E> {
     config: PipelineConfig,
     packets: u64,
     ml_packets: u64,
+    /// Resident PHV, recycled across packets by [`Parser::parse_into`].
+    phv: Phv,
+    /// Reusable formatter output buffer (feature codes).
+    feature_scratch: Vec<i32>,
 }
 
 impl<E: InferenceEngine> TaurusPipeline<E> {
@@ -184,7 +191,7 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
     pub fn new(
         config: PipelineConfig,
         engine: E,
-        formatter: impl FnMut(&FlowFeatures) -> Vec<i32> + Send + 'static,
+        formatter: impl FnMut(&FlowFeatures, &mut Vec<i32>) + Send + 'static,
     ) -> Self {
         Self {
             parser: Parser::new(),
@@ -194,9 +201,11 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
             engine,
             post_tables: Vec::new(),
             join: RoundRobinJoin::new(config.queue_capacity, config.queue_capacity),
+            feature_scratch: Vec::with_capacity(config.feature_count),
             config,
             packets: 0,
             ml_packets: 0,
+            phv: Phv::new(),
         }
     }
 
@@ -216,7 +225,7 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
     /// encoder or the engine would read codes under the wrong scale).
     pub fn set_formatter(
         &mut self,
-        formatter: impl FnMut(&FlowFeatures) -> Vec<i32> + Send + 'static,
+        formatter: impl FnMut(&FlowFeatures, &mut Vec<i32>) + Send + 'static,
     ) {
         self.formatter = Box::new(formatter);
     }
@@ -251,7 +260,7 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
     ) -> PipelineResult {
         self.packets += 1;
         let mut latency = PARSE_LATENCY_NS;
-        let mut phv = self.parser.parse(pkt);
+        self.parser.parse_into(pkt, &mut self.phv);
 
         // Stateful feature accumulation (register stage).
         let features = self.tracker.observe_prepared(&obs_hint, dst_count, srv_count);
@@ -259,21 +268,23 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
 
         // Preprocessing MATs: bypass decision and metadata.
         for t in &mut self.pre_tables {
-            t.apply(&mut phv);
+            t.apply(&mut self.phv);
             latency += MAT_LATENCY_NS;
         }
 
-        let bypassed = phv.get(Field::BypassMl) != 0;
+        let bypassed = self.phv.get(Field::BypassMl) != 0;
         let mut ml_out = 0;
         if bypassed {
             // Fig. 6: bypass packets skip MapReduce with no added latency.
             self.join.bypass.push(());
         } else {
             self.ml_packets += 1;
-            let codes = (self.formatter)(&features);
-            phv.set_features(&codes);
-            ml_out = self.engine.infer(&codes[..self.config.feature_count.min(codes.len())]);
-            phv.set(Field::MlOut, ml_out);
+            self.feature_scratch.clear();
+            (self.formatter)(&features, &mut self.feature_scratch);
+            self.phv.set_features(&self.feature_scratch);
+            let n = self.config.feature_count.min(self.feature_scratch.len());
+            ml_out = self.engine.infer(&self.feature_scratch[..n]);
+            self.phv.set(Field::MlOut, ml_out);
             latency += self.engine.latency_ns();
             self.join.ml.push(());
         }
@@ -281,12 +292,12 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
 
         // Postprocessing MATs: verdict + queue.
         for t in &mut self.post_tables {
-            t.apply(&mut phv);
+            t.apply(&mut self.phv);
             latency += MAT_LATENCY_NS;
         }
 
         PipelineResult {
-            verdict: Verdict::from_code(phv.get(Field::Decision)),
+            verdict: Verdict::from_code(self.phv.get(Field::Decision)),
             ml_out,
             bypassed,
             latency_ns: latency,
@@ -371,7 +382,9 @@ mod tests {
         let mut p = TaurusPipeline::new(
             PipelineConfig { feature_count: 6, ..PipelineConfig::default() },
             ThresholdEngine { threshold: 100 },
-            |f: &FlowFeatures| f.encode_dnn6().iter().map(|&v| (v * 10.0) as i32).collect(),
+            |f: &FlowFeatures, out: &mut Vec<i32>| {
+                out.extend(f.encode_dnn6().iter().map(|&v| (v * 10.0) as i32));
+            },
         );
         p.pre_tables.push(ml_bypass_table());
         p.post_tables.push(anomaly_post_table(1));
@@ -459,8 +472,8 @@ mod tests {
                 1_000
             }
         }
-        let mut p = TaurusPipeline::new(PipelineConfig::default(), Unreachable, |f| {
-            f.encode_dnn6().iter().map(|&v| v as i32).collect()
+        let mut p = TaurusPipeline::new(PipelineConfig::default(), Unreachable, |f, out| {
+            out.extend(f.encode_dnn6().iter().map(|&v| v as i32));
         });
         p.pre_tables.push(ml_bypass_table());
         p.post_tables.push(anomaly_post_table(1));

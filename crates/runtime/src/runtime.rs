@@ -466,7 +466,11 @@ impl ShardedRuntime {
                             ShardMsg::Batch(batch) => {
                                 batches += 1;
                                 for p in &batch {
-                                    let r = switch.process_prepared(
+                                    // Verdict-only entry point: same
+                                    // counters and combined verdict as
+                                    // process_prepared, minus the
+                                    // per-packet per_app allocation.
+                                    let r = switch.process_prepared_verdict(
                                         &p.pkt,
                                         p.obs,
                                         p.dst_count,

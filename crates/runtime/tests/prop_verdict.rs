@@ -56,7 +56,7 @@ impl TaurusApp for FixedApp {
     }
 
     fn formatter(&self) -> FeatureFormatter {
-        Box::new(|f| vec![f.packets.min(127) as i32])
+        Box::new(|f, out| out.push(f.packets.min(127) as i32))
     }
 
     fn post_tables(&self, _backend: EngineBackend) -> Vec<MatchTable> {
