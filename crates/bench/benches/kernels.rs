@@ -15,6 +15,7 @@ use taurus_dataset::kdd::KddGenerator;
 use taurus_dataset::trace::{PacketTrace, TraceConfig};
 use taurus_fixed::q::Q8;
 use taurus_fixed::quant::Requantizer;
+use taurus_ir::kernels::{matvec_row, matvec_row_scalar, matvec_rows_wide};
 use taurus_ir::{microbench, Interpreter};
 use taurus_pisa::{Packet, Parser};
 
@@ -31,6 +32,45 @@ fn bench_fixed_point(c: &mut Criterion) {
     });
     let rq = Requantizer::from_real_multiplier(0.0123, 3);
     c.bench_function("fixed/requantize", |b| b.iter(|| black_box(rq.apply(black_box(123_456)))));
+}
+
+fn bench_matvec_kernels(c: &mut Criterion) {
+    // The MatVec inner loop at the shapes that matter: the AD DNN's
+    // 12×6 first layer and a 16-wide inner product (the paper's CU lane
+    // width), vectorized vs the scalar reference, plus the pre-widened
+    // row-blocked form the CGRA ExecPlan executes.
+    let x16: Vec<i32> = (0..16).map(|j| j * 7 - 40).collect();
+    let row16: Vec<i8> = (0..16).map(|j| (j as i8) * 5 - 30).collect();
+    c.bench_function("kernels/matvec_row_16_vector", |b| {
+        b.iter(|| black_box(matvec_row(black_box(&row16), black_box(&x16), 3)))
+    });
+    c.bench_function("kernels/matvec_row_16_scalar", |b| {
+        b.iter(|| black_box(matvec_row_scalar(black_box(&row16), black_box(&x16), 3)))
+    });
+
+    let x6: Vec<i32> = (0..6).map(|j| j * 11 - 20).collect();
+    let bank: Vec<i8> = (0..12 * 6).map(|i| (i as i8) * 3 - 50).collect();
+    let wide: Vec<i32> = bank.iter().map(|&w| i32::from(w)).collect();
+    c.bench_function("kernels/matvec_12x6_per_row_scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for r in 0..12 {
+                acc = acc.wrapping_add(matvec_row_scalar(
+                    black_box(&bank[r * 6..(r + 1) * 6]),
+                    black_box(&x6),
+                    3,
+                ));
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("kernels/matvec_12x6_rows_wide", |b| {
+        let mut out = vec![0i32; 12];
+        b.iter(|| {
+            matvec_rows_wide(black_box(&wide), 6, black_box(&x6), 3, &mut out);
+            black_box(out[11])
+        })
+    });
 }
 
 fn bench_inference(c: &mut Criterion) {
@@ -100,5 +140,12 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fixed_point, bench_inference, bench_cgra, bench_pipeline);
+criterion_group!(
+    benches,
+    bench_fixed_point,
+    bench_matvec_kernels,
+    bench_inference,
+    bench_cgra,
+    bench_pipeline
+);
 criterion_main!(benches);

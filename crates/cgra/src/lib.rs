@@ -45,7 +45,8 @@ use taurus_compiler::vu::VuKind;
 use taurus_compiler::GridProgram;
 use taurus_fixed::quant::Requantizer;
 use taurus_ir::graph::Operand;
-use taurus_ir::{eval_map, eval_reduce, matvec_row, sqdist_row, MapOp, NodeId, Op, ReduceOp};
+use taurus_ir::kernels::{matvec_rows_wide, sqdist_rows_wide};
+use taurus_ir::{eval_map, eval_reduce, MapOp, NodeId, Op, ReduceOp};
 
 /// Result of processing one packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,34 +88,42 @@ impl Slot {
     }
 }
 
-/// A fused tail stage of a dot-product row (bias add or requantize),
-/// with its parameters resolved at plan-build time.
+/// A fused tail stage of a dot-product row group (bias add or
+/// requantize), with its parameters resolved — and gathered to this
+/// group's row positions — at plan-build time.
 #[derive(Debug, Clone)]
 enum FusedOp {
-    /// `acc += bias[row]`.
+    /// `acc[p] += bias[p]` (bias pre-gathered per position).
     Bias(Vec<i32>),
-    /// `acc = requant(acc)`.
+    /// `acc[p] = requant(acc[p])`.
     Requant(Requantizer),
 }
 
 /// One DotCu row group: the rows a physical CU computes, with the fused
-/// bias/requant chain and all operand locations precompiled.
+/// bias/requant chain and all operand locations precompiled. The
+/// group's int8 weight rows are **pre-widened to row-contiguous `i32`**
+/// at plan-build time, the layout [`taurus_ir::kernels`]'s row-blocked
+/// kernels consume — the per-packet loop touches no graph structure at
+/// all.
 #[derive(Debug, Clone)]
 struct DotWork {
-    /// Weight bank index in the program graph.
-    bank: u32,
+    /// This group's weight rows, pre-widened, row-major
+    /// (`rows.len() × cols`).
+    wide: Vec<i32>,
+    /// Row width (= bank cols = input width).
+    cols: usize,
     /// Input vector location.
     input: Slot,
     /// MatVec zero point (0 for SqDist).
     zero_point: i32,
     /// Squared-distance rather than dot-product rows.
     sqdist: bool,
-    /// Row indices this CU computes.
+    /// Global row index per group position (the dst scatter).
     rows: Vec<usize>,
     /// Fused tail stages, in firing order.
     fused: Vec<FusedOp>,
-    /// Start of the destination (fused-chain tail) node's region; row
-    /// `r` lands at `dst_off + r`.
+    /// Start of the destination (fused-chain tail) node's region; the
+    /// group's position `p` lands at `dst_off + rows[p]`.
     dst_off: u32,
 }
 
@@ -138,8 +147,8 @@ enum PlanOp {
     AddBias { bias: Vec<i32>, src: Slot, dst: Slot },
     /// Requantize `i32` accumulators to int8 codes (standalone).
     Requant { requant: Requantizer, src: Slot, dst: Slot },
-    /// 256-entry LUT lookup (table index into the program graph).
-    Lut { lut: u32, src: Slot, dst: Slot },
+    /// 256-entry LUT lookup (table resolved at plan-build time).
+    Lut { table: Box<[i8]>, src: Slot, dst: Slot },
     /// Lane-wise `> 0`.
     GreaterZero { src: Slot, dst: Slot },
     /// Static routing: copy `len` lanes from `src_off` to `dst_off`
@@ -164,6 +173,8 @@ struct ExecPlan {
     outputs: Vec<Slot>,
     /// Total slab length (sum of node widths).
     slab_len: usize,
+    /// Largest dot row group (sizes the shared accumulator scratch).
+    dot_scratch_len: usize,
     /// Ingress-to-egress latency of one recurrence step, from the same
     /// arrival/egress model the static analysis uses.
     step_latency: u32,
@@ -220,9 +231,29 @@ impl ExecPlan {
             }
         }
 
+        // Physical CUs split a dot node's rows across units (the
+        // paper's lane budget), but execution is idempotent dataflow:
+        // merging every unit's row share back into **one plan op per
+        // dot node** changes no value, and replaces per-row op dispatch
+        // with one row-blocked kernel call over the node's whole bank.
+        // Rows are gathered in sorted order so the pre-widened block is
+        // row-contiguous.
+        let mut dot_rows: Vec<Vec<usize>> = vec![Vec::new(); graph.nodes().len()];
+        for vu in units {
+            if vu.kind == VuKind::DotCu {
+                for rw in &vu.row_work {
+                    dot_rows[rw.node.0 as usize].extend_from_slice(&rw.rows);
+                }
+            }
+        }
+        for rows in &mut dot_rows {
+            rows.sort_unstable();
+        }
+
         // Flatten the schedule. Lane-split units list the same node more
         // than once across units; evaluation is idempotent (each split
-        // recomputes the full vector), so each node is scheduled once.
+        // recomputes the full vector), so each node is scheduled once —
+        // dot nodes at their first firing, with their merged row set.
         let mut ops = Vec::new();
         let mut scheduled = vec![false; graph.nodes().len()];
         for &i in &order {
@@ -238,6 +269,11 @@ impl ExecPlan {
                 VuKind::WeightMu => {}
                 VuKind::DotCu => {
                     for rw in &vu.row_work {
+                        if scheduled[rw.node.0 as usize] {
+                            continue;
+                        }
+                        scheduled[rw.node.0 as usize] = true;
+                        let rows = &dot_rows[rw.node.0 as usize];
                         let node = graph.node(rw.node);
                         let (bank, input, zero_point, sqdist) = match node.op {
                             Op::MatVec { weights, zero_point, input } => {
@@ -246,22 +282,35 @@ impl ExecPlan {
                             Op::SqDist { weights, input } => (weights.0, input, 0, true),
                             _ => unreachable!("dot row work on non-dot node"),
                         };
+                        // Gather fused parameters to the merged group's
+                        // row positions so the exec loop indexes
+                        // nothing but its own dense arrays.
                         let fused = rw
                             .fused
                             .iter()
                             .map(|&f| match &graph.node(f).op {
-                                Op::AddBias { bias, .. } => FusedOp::Bias(bias.clone()),
+                                Op::AddBias { bias, .. } => {
+                                    FusedOp::Bias(rows.iter().map(|&r| bias[r]).collect())
+                                }
                                 Op::Requant { requant, .. } => FusedOp::Requant(*requant),
                                 other => unreachable!("unsupported fused op {other:?}"),
                             })
                             .collect();
                         let final_node = rw.fused.last().copied().unwrap_or(rw.node);
+                        // Pre-widen the merged rows into one
+                        // row-contiguous i32 block.
+                        let bank = graph.weight(taurus_ir::WeightId(bank));
+                        let wide: Vec<i32> = rows
+                            .iter()
+                            .flat_map(|&r| bank.row(r).iter().map(|&w| i32::from(w)))
+                            .collect();
                         ops.push(PlanOp::Dot(DotWork {
-                            bank,
+                            wide,
+                            cols: bank.cols,
                             input: slot(input),
                             zero_point,
                             sqdist,
-                            rows: rw.rows.clone(),
+                            rows: rows.clone(),
                             fused,
                             dst_off: slot(final_node).off,
                         }));
@@ -280,7 +329,15 @@ impl ExecPlan {
         }
 
         let outputs = graph.outputs().iter().map(|&o| slot(o)).collect();
-        ExecPlan { ops, outputs, slab_len: off as usize, step_latency }
+        let dot_scratch_len = ops
+            .iter()
+            .map(|op| match op {
+                PlanOp::Dot(dw) => dw.rows.len(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        ExecPlan { ops, outputs, slab_len: off as usize, dot_scratch_len, step_latency }
     }
 
     fn compile_node(graph: &taurus_ir::Graph, id: NodeId, slot: &dyn Fn(NodeId) -> Slot) -> PlanOp {
@@ -306,7 +363,9 @@ impl ExecPlan {
             Op::Requant { requant, input } => {
                 PlanOp::Requant { requant: *requant, src: slot(*input), dst }
             }
-            Op::Lut { lut, input } => PlanOp::Lut { lut: lut.0, src: slot(*input), dst },
+            Op::Lut { lut, input } => {
+                PlanOp::Lut { table: graph.lut(*lut).into(), src: slot(*input), dst }
+            }
             Op::GreaterZero { input } => PlanOp::GreaterZero { src: slot(*input), dst },
             Op::Concat { inputs } => {
                 // Concat of one input is a plain copy; wider concats are
@@ -345,6 +404,8 @@ pub struct CgraSim {
     plan: ExecPlan,
     /// The reusable value slab all plan ops read and write.
     slab: Vec<i32>,
+    /// Accumulator scratch shared by all dot row groups.
+    dot_scratch: Vec<i32>,
     /// Staged state writes (committed at end of each recurrence step).
     pending: Vec<Vec<i32>>,
     pending_written: Vec<bool>,
@@ -365,9 +426,10 @@ impl CgraSim {
             program.graph.states().iter().map(|s| vec![0i32; s.width]).collect();
         let plan = ExecPlan::compile(&program);
         let slab = vec![0i32; plan.slab_len];
+        let dot_scratch = vec![0i32; plan.dot_scratch_len];
         let pending = state.clone();
         let pending_written = vec![false; state.len()];
-        Self { program, state, plan, slab, pending, pending_written }
+        Self { program, state, plan, slab, dot_scratch, pending, pending_written }
     }
 
     /// The compiled program this simulator executes.
@@ -441,73 +503,98 @@ impl CgraSim {
 
     /// One recurrence step: runs the precompiled schedule over the slab,
     /// then commits staged state writes.
+    ///
+    /// Slots are assigned in topological (= node) order, so every
+    /// operand region lies strictly below its consumer's own region;
+    /// [`dst_split`] exploits that to hand each op disjoint
+    /// source/destination slices — the inner loops are plain slice zips
+    /// the compiler can keep in registers and autovectorize.
     fn exec_step(&mut self, input: &[i32]) {
-        let Self { program, state, plan, slab, pending, pending_written, .. } = self;
-        let graph = &program.graph;
+        let Self { state, plan, slab, dot_scratch, pending, pending_written, .. } = self;
         for op in &plan.ops {
             match op {
                 PlanOp::Input { dst } => slab[dst.range()].copy_from_slice(input),
                 PlanOp::Const { values, dst } => slab[dst.range()].copy_from_slice(values),
                 PlanOp::MapNode { op, a, b, dst } => {
-                    let (ao, bo, bl, d) =
-                        (a.off as usize, b.off as usize, b.len as usize, dst.off as usize);
-                    for j in 0..dst.len as usize {
-                        let bv = slab[bo + if bl == 1 { 0 } else { j }];
-                        slab[d + j] = eval_map(*op, slab[ao + j], bv);
+                    let (lo, d) = dst_split(slab, *dst);
+                    let av = slot_in(lo, *a);
+                    let bv = slot_in(lo, *b);
+                    if let [scalar] = bv {
+                        for (o, &x) in d.iter_mut().zip(av) {
+                            *o = eval_map(*op, x, *scalar);
+                        }
+                    } else {
+                        for ((o, &x), &y) in d.iter_mut().zip(av).zip(bv) {
+                            *o = eval_map(*op, x, y);
+                        }
                     }
                 }
                 PlanOp::MapConst { op, a, values, dst } => {
-                    let (ao, d) = (a.off as usize, dst.off as usize);
-                    for j in 0..dst.len as usize {
-                        let bv = if values.len() == 1 { values[0] } else { values[j] };
-                        slab[d + j] = eval_map(*op, slab[ao + j], bv);
+                    let (lo, d) = dst_split(slab, *dst);
+                    let av = slot_in(lo, *a);
+                    if let [scalar] = values.as_slice() {
+                        for (o, &x) in d.iter_mut().zip(av) {
+                            *o = eval_map(*op, x, *scalar);
+                        }
+                    } else {
+                        for ((o, &x), &y) in d.iter_mut().zip(av).zip(values) {
+                            *o = eval_map(*op, x, y);
+                        }
                     }
                 }
                 PlanOp::Reduce { op, src, dst_off } => {
                     slab[*dst_off as usize] = eval_reduce(*op, &slab[src.range()]);
                 }
                 PlanOp::Dot(dw) => {
-                    let bank = graph.weights().get(dw.bank as usize).expect("bank resolved");
-                    for &r in &dw.rows {
-                        let x = &slab[dw.input.range()];
-                        let mut acc = if dw.sqdist {
-                            sqdist_row(bank.row(r), x)
-                        } else {
-                            matvec_row(bank.row(r), x, dw.zero_point)
-                        };
-                        for f in &dw.fused {
-                            acc = match f {
-                                FusedOp::Bias(bias) => acc.wrapping_add(bias[r]),
-                                FusedOp::Requant(rq) => i32::from(rq.apply(acc)),
-                            };
+                    let acc = &mut dot_scratch[..dw.rows.len()];
+                    let x = &slab[dw.input.range()];
+                    if dw.sqdist {
+                        sqdist_rows_wide(&dw.wide, dw.cols, x, acc);
+                    } else {
+                        matvec_rows_wide(&dw.wide, dw.cols, x, dw.zero_point, acc);
+                    }
+                    for f in &dw.fused {
+                        match f {
+                            FusedOp::Bias(bias) => {
+                                for (a, &b) in acc.iter_mut().zip(bias) {
+                                    *a = a.wrapping_add(b);
+                                }
+                            }
+                            FusedOp::Requant(rq) => {
+                                for a in acc.iter_mut() {
+                                    *a = i32::from(rq.apply(*a));
+                                }
+                            }
                         }
-                        slab[dw.dst_off as usize + r] = acc;
+                    }
+                    let base = dw.dst_off as usize;
+                    for (p, &r) in dw.rows.iter().enumerate() {
+                        slab[base + r] = acc[p];
                     }
                 }
                 PlanOp::AddBias { bias, src, dst } => {
-                    let (so, d) = (src.off as usize, dst.off as usize);
-                    for j in 0..dst.len as usize {
-                        slab[d + j] = slab[so + j].wrapping_add(bias[j]);
+                    let (lo, d) = dst_split(slab, *dst);
+                    for ((o, &v), &b) in d.iter_mut().zip(slot_in(lo, *src)).zip(bias) {
+                        *o = v.wrapping_add(b);
                     }
                 }
                 PlanOp::Requant { requant, src, dst } => {
-                    let (so, d) = (src.off as usize, dst.off as usize);
-                    for j in 0..dst.len as usize {
-                        slab[d + j] = i32::from(requant.apply(slab[so + j]));
+                    let (lo, d) = dst_split(slab, *dst);
+                    for (o, &v) in d.iter_mut().zip(slot_in(lo, *src)) {
+                        *o = i32::from(requant.apply(v));
                     }
                 }
-                PlanOp::Lut { lut, src, dst } => {
-                    let table = graph.lut(taurus_ir::LutId(*lut));
-                    let (so, d) = (src.off as usize, dst.off as usize);
-                    for j in 0..dst.len as usize {
-                        let code = slab[so + j].clamp(-128, 127);
-                        slab[d + j] = i32::from(table[(code + 128) as usize]);
+                PlanOp::Lut { table, src, dst } => {
+                    let (lo, d) = dst_split(slab, *dst);
+                    for (o, &v) in d.iter_mut().zip(slot_in(lo, *src)) {
+                        let code = v.clamp(-128, 127);
+                        *o = i32::from(table[(code + 128) as usize]);
                     }
                 }
                 PlanOp::GreaterZero { src, dst } => {
-                    let (so, d) = (src.off as usize, dst.off as usize);
-                    for j in 0..dst.len as usize {
-                        slab[d + j] = i32::from(slab[so + j] > 0);
+                    let (lo, d) = dst_split(slab, *dst);
+                    for (o, &v) in d.iter_mut().zip(slot_in(lo, *src)) {
+                        *o = i32::from(v > 0);
                     }
                 }
                 PlanOp::Copy { src_off, len, dst_off } => {
@@ -541,6 +628,21 @@ impl CgraSim {
             }
         }
     }
+}
+
+/// Splits the slab at a destination slot: everything below `dst` (where
+/// all of the op's operands live, by topological slot assignment) and
+/// `dst`'s own lanes as a mutable slice.
+#[inline]
+fn dst_split(slab: &mut [i32], dst: Slot) -> (&[i32], &mut [i32]) {
+    let (lo, hi) = slab.split_at_mut(dst.off as usize);
+    (lo, &mut hi[..dst.len as usize])
+}
+
+/// A slot's lanes within the lower slab half returned by [`dst_split`].
+#[inline]
+fn slot_in(lo: &[i32], s: Slot) -> &[i32] {
+    &lo[s.off as usize..][..s.len as usize]
 }
 
 #[cfg(test)]

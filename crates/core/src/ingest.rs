@@ -24,7 +24,17 @@ use taurus_pisa::Packet;
 
 /// Renders a trace packet as the wire packet the parser consumes.
 pub fn to_packet(tp: &TracePacket) -> Packet {
-    let mut p = Packet::tcp(
+    let mut p = Packet::tcp(0, 0, 0, 0, 0, 0);
+    to_packet_into(tp, &mut p);
+    p
+}
+
+/// In-place variant of [`to_packet`]: overwrites a resident [`Packet`]
+/// with the trace packet's wire form. Hot ingest loops (the sharded
+/// runtime's batch arena) rewrite recycled slots with this instead of
+/// constructing and copying a fresh value per packet.
+pub fn to_packet_into(tp: &TracePacket, p: &mut Packet) {
+    *p = Packet::tcp(
         tp.tuple.src_ip,
         tp.tuple.dst_ip,
         tp.tuple.src_port,
@@ -34,7 +44,6 @@ pub fn to_packet(tp: &TracePacket) -> Packet {
     );
     p.proto = tp.tuple.proto;
     p.ts_ns = tp.ts_ns;
-    p
 }
 
 /// Builds register-stage observations the way hardware would, tracking
@@ -56,6 +65,15 @@ impl ObsBuilder {
     /// require a bare SYN), keys from the canonical tuple and responder
     /// endpoint.
     pub fn observe(&mut self, tp: &TracePacket) -> PacketObs {
+        let mut obs = PacketObs::default();
+        self.observe_into(tp, &mut obs);
+        obs
+    }
+
+    /// In-place variant of [`ObsBuilder::observe`]: overwrites a
+    /// resident [`PacketObs`] (a recycled batch-arena slot) instead of
+    /// returning a fresh value.
+    pub fn observe_into(&mut self, tp: &TracePacket, obs: &mut PacketObs) {
         let canonical = tp.tuple.canonical();
         let is_flow_start = self.seen_flows.insert(tp.conn_id)
             && (tp.tuple.proto != 6 || tp.tcp_flags & TCP_SYN != 0 && tp.tcp_flags & TCP_ACK == 0);
@@ -65,7 +83,7 @@ impl ObsBuilder {
         } else {
             (tp.tuple.dst_ip, tp.tuple.dst_port)
         };
-        PacketObs {
+        *obs = PacketObs {
             flow_key: canonical.hash(),
             dst_key: u64::from(resp_ip).wrapping_mul(0x9E3779B97F4A7C15),
             srv_key: (u64::from(resp_ip) << 16 | u64::from(resp_port))
@@ -76,7 +94,7 @@ impl ObsBuilder {
             tcp_flags: tp.tcp_flags,
             proto: tp.tuple.proto,
             ts_ns: tp.ts_ns,
-        }
+        };
     }
 
     /// Forgets all seen flows (between experiment phases).

@@ -456,6 +456,17 @@ impl TaurusSwitch {
         self.process(&pkt, obs)
     }
 
+    /// [`TaurusSwitch::process_trace_packet`] without the per-app
+    /// result collection: identical counters and combined verdict, no
+    /// per-packet `per_app` allocation — what a sequential hot loop
+    /// (the `hotpath` bench's reference measurement) should call when
+    /// it only needs the forwarding decision.
+    pub fn process_trace_verdict(&mut self, tp: &TracePacket) -> SwitchVerdict {
+        let pkt = to_packet(tp);
+        let obs = self.obs_builder.observe(tp);
+        self.run_apps_core(|app| app.pipeline.process(&pkt, obs), |_| {})
+    }
+
     /// Clears flow state and counters (between experiment phases).
     pub fn reset(&mut self) {
         for app in &mut self.apps {

@@ -73,19 +73,19 @@ impl FiveTuple {
     /// A stable non-cryptographic hash (FNV-1a), used to index register
     /// arrays the way a switch would.
     pub fn hash(&self) -> u64 {
+        // Feed the 13 key bytes straight through FNV-1a — same byte
+        // order as the old `concat()` formulation, but allocation-free:
+        // this runs once per packet on the ingest hot path.
         let mut h: u64 = 0xcbf29ce484222325;
-        for b in [
-            self.src_ip.to_be_bytes().as_slice(),
-            self.dst_ip.to_be_bytes().as_slice(),
-            self.src_port.to_be_bytes().as_slice(),
-            self.dst_port.to_be_bytes().as_slice(),
-            &[self.proto],
-        ]
-        .concat()
-        {
-            h ^= b as u64;
+        let mut step = |b: u8| {
+            h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
-        }
+        };
+        self.src_ip.to_be_bytes().into_iter().for_each(&mut step);
+        self.dst_ip.to_be_bytes().into_iter().for_each(&mut step);
+        self.src_port.to_be_bytes().into_iter().for_each(&mut step);
+        self.dst_port.to_be_bytes().into_iter().for_each(&mut step);
+        step(self.proto);
         h
     }
 }

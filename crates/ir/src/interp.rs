@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use crate::graph::{Graph, MapOp, NodeId, Op, Operand, ReduceOp};
+use crate::kernels::{matvec_row, sqdist_row};
 
 /// Executes a [`Graph`] on successive feature vectors, carrying persistent
 /// state across invocations (the per-packet model execution loop).
@@ -140,24 +141,6 @@ impl<'g> Interpreter<'g> {
     pub fn run_flat(&mut self, input: &[i32]) -> Vec<i32> {
         self.run(input).into_iter().flatten().collect()
     }
-}
-
-/// Computes one row of a MatVec: `Σ_j W[r,j]·(x[j] − zero_point)` with
-/// wrapping `i32` arithmetic. Exported so the CGRA simulator shares the
-/// exact semantics.
-pub fn matvec_row(row: &[i8], x: &[i32], zero_point: i32) -> i32 {
-    row.iter().zip(x).fold(0i32, |acc, (&w, &xv)| {
-        acc.wrapping_add(i32::from(w).wrapping_mul(xv.wrapping_sub(zero_point)))
-    })
-}
-
-/// Computes one row of a SqDist: `Σ_j (x[j] − W[r,j])²` with wrapping
-/// `i32` arithmetic. Exported for the CGRA simulator.
-pub fn sqdist_row(row: &[i8], x: &[i32]) -> i32 {
-    row.iter().zip(x).fold(0i32, |acc, (&w, &xv)| {
-        let d = xv.wrapping_sub(i32::from(w));
-        acc.wrapping_add(d.wrapping_mul(d))
-    })
 }
 
 /// Lane-wise map semantics (wrapping `i32`). Exported for the CGRA

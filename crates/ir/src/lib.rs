@@ -18,6 +18,9 @@
 //!   container with validation.
 //! - [`builder`]: the Fig.-4-shaped construction API.
 //! - [`interp`]: the reference interpreter (golden model).
+//! - [`kernels`]: the vectorizable fixed-point inner-loop kernels
+//!   (chunked multi-accumulator MatVec/SqDist rows, pre-widened row
+//!   groups) shared by the interpreter and the CGRA simulator.
 //! - [`microbench`]: Table 6's microbenchmark programs (inner product,
 //!   Conv1D, and the seven activation implementations).
 //! - [`apps`]: the §3.3.2 non-ML applications (Count-Min Sketch, Elastic
@@ -27,8 +30,10 @@ pub mod apps;
 pub mod builder;
 pub mod graph;
 pub mod interp;
+pub mod kernels;
 pub mod microbench;
 
 pub use builder::GraphBuilder;
 pub use graph::{Graph, LutId, MapOp, Node, NodeId, Op, ReduceOp, StateId, WeightId};
-pub use interp::{eval_map, eval_reduce, matvec_row, sqdist_row, Interpreter};
+pub use interp::{eval_map, eval_reduce, Interpreter};
+pub use kernels::{matvec_row, sqdist_row};

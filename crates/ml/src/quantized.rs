@@ -24,26 +24,64 @@ use crate::linalg::argmax;
 use crate::mlp::{Mlp, OutputHead};
 use crate::svm::Svm;
 
+/// Accumulator lanes in the chunked int8 kernels below — the same
+/// multi-accumulator shape as `taurus_ir::kernels` (this crate sits
+/// below the IR, so the layout is mirrored rather than imported).
+const LANES: usize = 8;
+
 /// Zero-point-corrected int8 dot product with `i32` accumulation —
-/// primitive (1) of the integer pipeline.
+/// primitive (1) of the integer pipeline. Chunked over [`LANES`]
+/// independent accumulators so the compiler autovectorizes it;
+/// reassociating the `i32` sum is exact (int8×int8 partial products
+/// cannot overflow an `i32` accumulator at any realistic width).
 #[inline]
 pub fn dot_acc(w: &[i8], x: &[i8], x_zero_point: i32) -> i32 {
     debug_assert_eq!(w.len(), x.len());
-    w.iter().zip(x).map(|(&wv, &xv)| i32::from(wv) * (i32::from(xv) - x_zero_point)).sum()
+    let n = w.len().min(x.len());
+    let (w, x) = (&w[..n], &x[..n]);
+    let mut acc = [0i32; LANES];
+    let mut ws = w.chunks_exact(LANES);
+    let mut xs = x.chunks_exact(LANES);
+    for (ww, xw) in (&mut ws).zip(&mut xs) {
+        for l in 0..LANES {
+            acc[l] += i32::from(ww[l]) * (i32::from(xw[l]) - x_zero_point);
+        }
+    }
+    let tail: i32 = ws
+        .remainder()
+        .iter()
+        .zip(xs.remainder())
+        .map(|(&wv, &xv)| i32::from(wv) * (i32::from(xv) - x_zero_point))
+        .sum();
+    acc.iter().sum::<i32>() + tail
 }
 
 /// Squared L2 distance between int8 code vectors (zero points cancel when
-/// both sides share quantization parameters).
+/// both sides share quantization parameters). Chunked like [`dot_acc`].
 #[inline]
 pub fn sq_dist_codes(a: &[i8], b: &[i8]) -> i32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0i32; LANES];
+    let mut avs = a.chunks_exact(LANES);
+    let mut bvs = b.chunks_exact(LANES);
+    for (aw, bw) in (&mut avs).zip(&mut bvs) {
+        for l in 0..LANES {
+            let d = i32::from(aw[l]) - i32::from(bw[l]);
+            acc[l] += d * d;
+        }
+    }
+    let tail: i32 = avs
+        .remainder()
+        .iter()
+        .zip(bvs.remainder())
         .map(|(&x, &y)| {
             let d = i32::from(x) - i32::from(y);
             d * d
         })
-        .sum()
+        .sum();
+    acc.iter().sum::<i32>() + tail
 }
 
 /// A 256-entry int8→int8 lookup table (primitive (4)).

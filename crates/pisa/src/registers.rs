@@ -244,7 +244,7 @@ pub struct FlowTracker {
 }
 
 /// One packet's worth of observation input to [`FlowTracker::observe`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PacketObs {
     /// Direction-independent flow key (canonical five-tuple hash).
     pub flow_key: u64,

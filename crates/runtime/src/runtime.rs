@@ -32,7 +32,7 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use taurus_core::ingest::{to_packet, ObsBuilder};
+use taurus_core::ingest::{to_packet_into, ObsBuilder};
 use taurus_core::{
     DuplicateAppError, EngineBackend, ModelUpdate, SwitchBuilder, SwitchReport, TaurusApp,
     TaurusSwitch, UpdateError,
@@ -62,14 +62,34 @@ pub struct PreparedPacket {
     pub anomalous: bool,
 }
 
+impl Default for PreparedPacket {
+    /// A zeroed arena slot, overwritten in place by the ingest stage.
+    fn default() -> Self {
+        Self {
+            pkt: Packet::tcp(0, 0, 0, 0, 0, 0),
+            obs: PacketObs::default(),
+            dst_count: 0,
+            srv_count: 0,
+            anomalous: false,
+        }
+    }
+}
+
+/// One ingest→worker batch: a recycled arena of [`PreparedPacket`]
+/// slots. Ingest rewrites the slots of a drained buffer in place
+/// (`to_packet_into`/`observe_into`), the worker indexes them, and the
+/// emptied buffer travels back over a reverse SPSC lane — steady-state
+/// runs allocate no batch memory at all.
+type Batch = Vec<PreparedPacket>;
+
 /// One message on an ingest→worker channel. Updates travel *in-band*:
 /// because each channel is FIFO and ingest flushes every staged batch
 /// before enqueuing the update, a worker applies it after every packet
 /// with global index < k and before any with index ≥ k — the
 /// batch-boundary barrier that makes live updates deterministic.
 enum ShardMsg {
-    /// A batch of routed packets.
-    Batch(Vec<PreparedPacket>),
+    /// A batch of routed packets (first `len` slots are live).
+    Batch(Batch),
     /// Install this model update now (shared: one prepared update, one
     /// compiled program, every shard).
     Update(Arc<ModelUpdate>),
@@ -277,6 +297,7 @@ impl<'a> RuntimeBuilder<'a> {
             obs_builder: ObsBuilder::new(),
             windows: CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
             pending_updates: Vec::new(),
+            batch_pool: Vec::new(),
         })
     }
 }
@@ -361,6 +382,10 @@ pub struct ShardedRuntime {
     /// Updates scheduled for the next run, sorted by install index
     /// (stable for equal indices: scheduling order is install order).
     pending_updates: Vec<(u64, Arc<ModelUpdate>)>,
+    /// Drained batch buffers surviving across runs: the recycle lanes
+    /// are emptied into this pool when a run finishes, so a long-lived
+    /// runtime's second and later runs allocate no batch memory.
+    batch_pool: Vec<Batch>,
 }
 
 impl ShardedRuntime {
@@ -449,14 +474,34 @@ impl ShardedRuntime {
         let queue_depth = self.queue_depth;
         let updates = std::mem::take(&mut self.pending_updates);
         // Split borrows: workers own the switches, ingest owns the rest.
-        let Self { switches, obs_builder, windows, .. } = self;
+        let Self { switches, obs_builder, windows, batch_pool, .. } = self;
+        // Provision the recycle pool up front: a shard's buffer cycle
+        // peaks at `queue_depth + 3` buffers (staging + in-flight +
+        // worker + freshly taken), so this many can ever be live. With
+        // the pool pre-filled, `take_buf` below never allocates — the
+        // whole ingest loop is allocation-free from the first packet of
+        // the second run (the first run still grows each arena's slots
+        // to `batch_size` in place).
+        let provision = shards * (queue_depth + 3);
+        while batch_pool.len() < provision {
+            batch_pool.push(Vec::with_capacity(batch_size));
+        }
         let mut worker_stats = vec![(0u64, 0u64, Vec::new()); shards];
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(shards);
+            let mut recycle = Vec::with_capacity(shards);
             let mut handles = Vec::with_capacity(shards);
             for switch in switches.iter_mut() {
                 let (tx, rx) = spsc::channel::<ShardMsg>(queue_depth);
+                // Reverse lane carrying drained buffers back to ingest.
+                // A shard's cycle holds at most `queue_depth + 3`
+                // buffers at once (1 staging + queue_depth in flight +
+                // 1 at the worker + 1 freshly taken), so with one extra
+                // slot of slack the worker's return send can never
+                // block — no deadlock against a blocked forward send.
+                let (pool_tx, pool_rx) = spsc::channel::<Batch>(queue_depth + 4);
                 senders.push(tx);
+                recycle.push(pool_rx);
                 handles.push(scope.spawn(move || {
                     let mut processed = 0u64;
                     let mut batches = 0u64;
@@ -482,6 +527,10 @@ impl ShardedRuntime {
                                         .record(r.verdict == Verdict::Drop, p.anomalous);
                                     processed += 1;
                                 }
+                                // Hand the drained buffer back for
+                                // reuse (ingest may already be gone on
+                                // error paths; dropping is fine then).
+                                let _ = pool_tx.send(batch);
                             }
                             ShardMsg::Update(update) => {
                                 switch.install_update(&update).unwrap_or_else(|e| {
@@ -495,16 +544,43 @@ impl ShardedRuntime {
                 }));
             }
 
+            // A replacement staging buffer: the shard's own recycle
+            // lane first (cheapest, keeps the cycle closed), then the
+            // cross-run pool, then — ramp-up only — a fresh allocation.
+            let take_buf = |pool: &mut Vec<Batch>, lane: &spsc::Receiver<Batch>| -> Batch {
+                lane.try_recv()
+                    .ok()
+                    .or_else(|| pool.pop())
+                    .unwrap_or_else(|| Vec::with_capacity(batch_size))
+            };
+
+            // Swap a full staging arena out (truncating to its live
+            // slots) and send it; the replacement comes from the
+            // recycle cycle.
+            let flush_shard = |staging: &mut Batch,
+                               fill: &mut usize,
+                               pool: &mut Vec<Batch>,
+                               lane: &spsc::Receiver<Batch>,
+                               tx: &spsc::Sender<ShardMsg>|
+             -> Result<(), spsc::SendError<ShardMsg>> {
+                let mut batch = std::mem::replace(staging, take_buf(pool, lane));
+                batch.truncate(*fill);
+                *fill = 0;
+                tx.send(ShardMsg::Batch(batch))
+            };
+
             // Flush every staged partial batch, then enqueue the update
             // in-band on every channel: the FIFO order guarantees each
             // worker applies it at exactly this global packet boundary.
-            let flush_and_update = |staging: &mut Vec<Vec<PreparedPacket>>,
+            let flush_and_update = |staging: &mut Vec<Batch>,
+                                    fills: &mut Vec<usize>,
+                                    pool: &mut Vec<Batch>,
+                                    recycle: &[spsc::Receiver<Batch>],
                                     senders: &[spsc::Sender<ShardMsg>],
                                     update: &Arc<ModelUpdate>| {
-                for (shard, batch) in staging.iter_mut().enumerate() {
-                    if !batch.is_empty() {
-                        let full = std::mem::replace(batch, Vec::with_capacity(batch_size));
-                        let _ = senders[shard].send(ShardMsg::Batch(full));
+                for (shard, (batch, fill)) in staging.iter_mut().zip(fills.iter_mut()).enumerate() {
+                    if *fill > 0 {
+                        let _ = flush_shard(batch, fill, pool, &recycle[shard], &senders[shard]);
                     }
                 }
                 for tx in senders {
@@ -512,42 +588,60 @@ impl ShardedRuntime {
                 }
             };
 
-            let mut staging: Vec<Vec<PreparedPacket>> =
-                (0..shards).map(|_| Vec::with_capacity(batch_size)).collect();
+            let mut staging: Vec<Batch> =
+                (0..shards).map(|_| batch_pool.pop().unwrap_or_default()).collect();
+            // Live slots per staging arena (slots beyond the fill are
+            // stale leftovers from the buffer's previous trip).
+            let mut fills: Vec<usize> = vec![0; shards];
             let mut next_update = 0usize;
             'ingest: for (index, tp) in packets.iter().enumerate() {
                 while next_update < updates.len() && updates[next_update].0 == index as u64 {
-                    flush_and_update(&mut staging, &senders, &updates[next_update].1);
+                    flush_and_update(
+                        &mut staging,
+                        &mut fills,
+                        batch_pool,
+                        &recycle,
+                        &senders,
+                        &updates[next_update].1,
+                    );
                     next_update += 1;
                 }
                 let obs = obs_builder.observe(tp);
                 let (dst_count, srv_count) = windows.observe(&obs);
                 let shard = shard_of(obs.flow_key, shards);
-                staging[shard].push(PreparedPacket {
-                    pkt: to_packet(tp),
-                    obs,
-                    dst_count,
-                    srv_count,
-                    anomalous: tp.anomalous,
-                });
-                if staging[shard].len() == batch_size {
-                    let batch =
-                        std::mem::replace(&mut staging[shard], Vec::with_capacity(batch_size));
-                    if senders[shard].send(ShardMsg::Batch(batch)).is_err() {
-                        // The worker died; stop feeding and surface its
-                        // panic at join below.
-                        break 'ingest;
-                    }
+                // Rewrite a recycled slot in place; push only while the
+                // arena is still growing toward batch_size.
+                let buf = &mut staging[shard];
+                let fill = &mut fills[shard];
+                if *fill == buf.len() {
+                    buf.push(PreparedPacket::default());
+                }
+                let slot = &mut buf[*fill];
+                to_packet_into(tp, &mut slot.pkt);
+                slot.obs = obs;
+                slot.dst_count = dst_count;
+                slot.srv_count = srv_count;
+                slot.anomalous = tp.anomalous;
+                *fill += 1;
+                if *fill == batch_size
+                    && flush_shard(buf, fill, batch_pool, &recycle[shard], &senders[shard]).is_err()
+                {
+                    // The worker died; stop feeding and surface its
+                    // panic at join below.
+                    break 'ingest;
                 }
             }
             // Updates scheduled at or past the stream's end still land
             // (after the last packet), so versions advance as promised.
             for (_, update) in &updates[next_update..] {
-                flush_and_update(&mut staging, &senders, update);
+                flush_and_update(&mut staging, &mut fills, batch_pool, &recycle, &senders, update);
             }
-            for (shard, batch) in staging.into_iter().enumerate() {
-                if !batch.is_empty() {
+            for (shard, (mut batch, fill)) in staging.into_iter().zip(fills).enumerate() {
+                if fill > 0 {
+                    batch.truncate(fill);
                     let _ = senders[shard].send(ShardMsg::Batch(batch));
+                } else {
+                    batch_pool.push(batch);
                 }
             }
             drop(senders); // close the channels: workers drain and exit
@@ -555,6 +649,13 @@ impl ShardedRuntime {
                 match h.join() {
                     Ok(stats) => worker_stats[i] = stats,
                     Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            // Reclaim every buffer still parked in a recycle lane so
+            // the next run starts fully provisioned.
+            for lane in &recycle {
+                while let Ok(buf) = lane.try_recv() {
+                    batch_pool.push(buf);
                 }
             }
         });

@@ -1,0 +1,135 @@
+//! Allocation-regression guard for the full sharded hot path: after a
+//! warm-up run, `ShardedRuntime::run_packets` must perform **zero**
+//! per-packet and per-batch heap allocations — ingest (observations,
+//! cross-flow windows, arena fill), the SPSC channels, the workers'
+//! switch loops, and the recycle lanes all run out of memory provisioned
+//! up front or recycled from earlier batches.
+//!
+//! A run still has *fixed* per-run overhead (thread spawns, channel
+//! endpoints, the final report), so "zero steady-state allocations" is
+//! pinned as scale-invariance: a warmed run over the trace and a warmed
+//! run over the trace **concatenated with itself** (twice the packets,
+//! twice the batches, identical flow structure) must allocate exactly
+//! the same number of times. Any per-packet or per-batch allocation
+//! would show up as a difference of thousands.
+//!
+//! Unlike the per-crate guards (`taurus-core`/`taurus-cgra`), the
+//! counting allocator here is process-global — worker threads must be
+//! counted too, not just the ingest thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use taurus_core::apps::{AnomalyDetector, SynFloodDetector};
+use taurus_core::EngineBackend;
+use taurus_dataset::kdd::KddGenerator;
+use taurus_dataset::trace::{PacketTrace, TraceConfig};
+use taurus_runtime::{RuntimeBuilder, ShardedRuntime};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+impl CountingAlloc {
+    fn record() {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// SAFETY: defers all allocation to `System`; the bookkeeping touches
+// only lock-free statics (no lazy init, no recursion into the
+// allocator).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn trace(n: usize, seed: u64) -> PacketTrace {
+    let records = KddGenerator::new(seed).take(n);
+    PacketTrace::expand(records, &TraceConfig { seed, ..TraceConfig::default() })
+}
+
+/// `single` replayed back to back: twice the packets and batches with
+/// the identical flow population, so steady-state structures (flow
+/// registers, seen-flow sets, arena capacities) cannot grow.
+fn doubled(single: &PacketTrace) -> Vec<taurus_dataset::trace::TracePacket> {
+    let mut d = Vec::with_capacity(single.packets.len() * 2);
+    d.extend(single.packets.iter().cloned());
+    d.extend(single.packets.iter().cloned());
+    d
+}
+
+fn assert_scale_invariant(mut rt: ShardedRuntime, single: &PacketTrace, label: &str) {
+    let double = doubled(single);
+    // Warm-up: provision the batch pool, grow every arena to capacity,
+    // populate flow state and fast-path caches on every shard — for
+    // both stream lengths, so the measured runs see pure steady state.
+    rt.run_packets(&single.packets);
+    rt.run_packets(&double);
+
+    let base = allocations_in(|| {
+        rt.run_packets(&single.packets);
+    });
+    let repeat = allocations_in(|| {
+        rt.run_packets(&single.packets);
+    });
+    let scaled = allocations_in(|| {
+        rt.run_packets(&double);
+    });
+    assert_eq!(base, repeat, "{label}: identical warmed runs must allocate identically");
+    assert_eq!(
+        scaled, base,
+        "{label}: a run with 2x the packets/batches allocated {scaled} times vs {base} — \
+         some allocation scales with the stream instead of the (fixed) per-run setup"
+    );
+}
+
+#[test]
+fn sharded_threshold_roster_allocates_independent_of_stream_length() {
+    let syn = SynFloodDetector::default_deployment();
+    let single = trace(400, 51);
+    let rt = RuntimeBuilder::new()
+        .shards(4)
+        .batch_size(32)
+        .register_on(&syn, EngineBackend::Threshold)
+        .build();
+    assert_scale_invariant(rt, &single, "threshold x4");
+}
+
+#[test]
+fn sharded_cgra_roster_allocates_independent_of_stream_length() {
+    let detector = AnomalyDetector::train_default(9, 400);
+    let single = trace(250, 52);
+    let rt = RuntimeBuilder::new().shards(2).batch_size(32).register(&detector).build();
+    assert_scale_invariant(rt, &single, "cgra x2");
+}
