@@ -46,6 +46,43 @@ pub fn to_packet_into(tp: &TracePacket, p: &mut Packet) {
     p.ts_ns = tp.ts_ns;
 }
 
+/// The order-free half of an observation: everything [`PacketObs`]
+/// carries except `is_flow_start`, derived from the packet alone (keys
+/// from the canonical tuple and responder endpoint, direction, wire
+/// fields). Because it needs no cross-packet state, a parallel ingest
+/// pipeline can compute it on any worker, for any packet, in any order
+/// — only the first-seen bit (see [`ObsBuilder::mark_seen`]) remains
+/// order-bound. `obs.is_flow_start` is left `false`.
+pub fn wire_obs(tp: &TracePacket, obs: &mut PacketObs) {
+    let canonical = tp.tuple.canonical();
+    // The responder is the destination of forward packets.
+    let (resp_ip, resp_port) = if tp.reverse {
+        (tp.tuple.src_ip, tp.tuple.src_port)
+    } else {
+        (tp.tuple.dst_ip, tp.tuple.dst_port)
+    };
+    *obs = PacketObs {
+        flow_key: canonical.hash(),
+        dst_key: u64::from(resp_ip).wrapping_mul(0x9E3779B97F4A7C15),
+        srv_key: (u64::from(resp_ip) << 16 | u64::from(resp_port)).wrapping_mul(0x9E3779B97F4A7C15),
+        reverse: tp.reverse,
+        is_flow_start: false,
+        len: tp.len,
+        tcp_flags: tp.tcp_flags,
+        proto: tp.tuple.proto,
+        ts_ns: tp.ts_ns,
+    };
+}
+
+/// Whether a packet's flags qualify it as a flow start *if* it is the
+/// connection's first packet: non-TCP always does, TCP requires a bare
+/// SYN (SYN set, ACK clear). Packet-local, so a parallel parse stage
+/// can precompute it; the order-bound first-seen bit is resolved
+/// separately ([`ObsBuilder::mark_seen`]).
+pub fn flow_start_flags_ok(tp: &TracePacket) -> bool {
+    tp.tuple.proto != 6 || tp.tcp_flags & TCP_SYN != 0 && tp.tcp_flags & TCP_ACK == 0
+}
+
 /// Builds register-stage observations the way hardware would, tracking
 /// first-seen connections to mark flow starts. Must observe packets in
 /// arrival order; one builder per packet stream.
@@ -74,27 +111,20 @@ impl ObsBuilder {
     /// resident [`PacketObs`] (a recycled batch-arena slot) instead of
     /// returning a fresh value.
     pub fn observe_into(&mut self, tp: &TracePacket, obs: &mut PacketObs) {
-        let canonical = tp.tuple.canonical();
-        let is_flow_start = self.seen_flows.insert(tp.conn_id)
-            && (tp.tuple.proto != 6 || tp.tcp_flags & TCP_SYN != 0 && tp.tcp_flags & TCP_ACK == 0);
-        // The responder is the destination of forward packets.
-        let (resp_ip, resp_port) = if tp.reverse {
-            (tp.tuple.src_ip, tp.tuple.src_port)
-        } else {
-            (tp.tuple.dst_ip, tp.tuple.dst_port)
-        };
-        *obs = PacketObs {
-            flow_key: canonical.hash(),
-            dst_key: u64::from(resp_ip).wrapping_mul(0x9E3779B97F4A7C15),
-            srv_key: (u64::from(resp_ip) << 16 | u64::from(resp_port))
-                .wrapping_mul(0x9E3779B97F4A7C15),
-            reverse: tp.reverse,
-            is_flow_start,
-            len: tp.len,
-            tcp_flags: tp.tcp_flags,
-            proto: tp.tuple.proto,
-            ts_ns: tp.ts_ns,
-        };
+        wire_obs(tp, obs);
+        obs.is_flow_start = self.mark_seen(tp.conn_id) && flow_start_flags_ok(tp);
+    }
+
+    /// Records that `conn_id` has been observed, returning whether this
+    /// is its first sighting. This is the *only* order-bound piece of
+    /// observation building: a parallel ingest pipeline calls it from
+    /// its merge stage, in global arrival order, on the per-epoch
+    /// first-seen candidates its parse workers pre-filtered — every
+    /// other packet of a connection inside an epoch is provably not the
+    /// global first, so the merge stage touches this set once per
+    /// (connection, epoch), not once per packet.
+    pub fn mark_seen(&mut self, conn_id: u32) -> bool {
+        self.seen_flows.insert(conn_id)
     }
 
     /// Forgets all seen flows (between experiment phases).
@@ -142,6 +172,26 @@ mod tests {
         assert_eq!(fwd.1.flow_key, rev.1.flow_key, "canonical key is direction-free");
         assert_eq!(fwd.1.dst_key, rev.1.dst_key, "responder key is direction-free");
         assert!(!fwd.1.reverse && rev.1.reverse);
+    }
+
+    #[test]
+    fn wire_obs_plus_mark_seen_reassembles_observe_exactly() {
+        // The split the parallel ingest pipeline relies on: the
+        // order-free wire observation plus the order-bound first-seen
+        // bit, applied in arrival order, must equal the classic
+        // sequential builder bit for bit.
+        let records = KddGenerator::new(94).take(120);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let mut classic = ObsBuilder::new();
+        let mut split = ObsBuilder::new();
+        for tp in &trace.packets {
+            let golden = classic.observe(tp);
+            let mut obs = PacketObs::default();
+            wire_obs(tp, &mut obs);
+            assert!(!obs.is_flow_start, "wire_obs never claims a flow start");
+            obs.is_flow_start = split.mark_seen(tp.conn_id) && flow_start_flags_ok(tp);
+            assert_eq!(obs, golden);
+        }
     }
 
     #[test]

@@ -369,11 +369,13 @@ impl TaurusSwitch {
     }
 
     /// Processes one raw packet whose cross-flow window counts were
-    /// computed upstream — the sharded runtime's entry point: a shared
-    /// ingest stage runs [`taurus_pisa::CrossFlowWindows`] in global
-    /// arrival order (destination keys are not flow-consistent, so
-    /// per-shard windows would diverge) and hands each shard the counts
-    /// along with the packet.
+    /// computed upstream — the sharded runtime's entry point: ingest's
+    /// merge stage runs the one shared [`taurus_pisa::CrossFlowWindows`]
+    /// in global arrival order (destination keys are not
+    /// flow-consistent, so per-shard windows would diverge) and hands
+    /// each shard the counts along with the packet. Whether ingest is
+    /// inline or a parse/merge pipeline, the counts reaching a shard
+    /// are identical (see `taurus_runtime::pipeline`).
     pub fn process_prepared(
         &mut self,
         pkt: &Packet,

@@ -48,10 +48,12 @@
 //! [`SwitchReport`]: taurus_core::SwitchReport
 
 pub mod deploy;
+pub mod pipeline;
 pub mod runtime;
 pub mod spsc;
 
 pub use deploy::{run_online_deployment, DeploymentConfig, DeploymentReport, DeploymentRound};
+pub use pipeline::{epoch_count, parse_packet, resolve_and_count, EpochBatch, ParsedSlot};
 pub use runtime::{
-    shard_of, PreparedPacket, RuntimeBuilder, RuntimeReport, ShardStats, ShardedRuntime,
+    shard_of, BuildError, PreparedPacket, RuntimeBuilder, RuntimeReport, ShardStats, ShardedRuntime,
 };

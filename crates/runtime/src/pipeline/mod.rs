@@ -1,0 +1,209 @@
+//! The parallel ingest pipeline: epoch-stamped flow steering in front
+//! of the sharded engine workers.
+//!
+//! ```text
+//!            ┌──────────────┐  EpochBatch lanes   ┌───────────────┐
+//!  trace ──▶ │ parse worker │ ──────────────────▶ │               │   PreparedPacket   ┌───────────────┐
+//!  (slices,  │      0..N    │   (epochs in index  │  merge+steer  │ ─────batches─────▶ │ engine worker │
+//!   epochs   │  order-free  │    order, one lane  │  order-bound  │   (recycled-arena  │     0..S      │
+//!   e%N→w)   │  parse/route │ ◀──────per worker)  │  windows+seen │     SPSC lanes)    │  MATs + CGRA  │
+//!            └──────────────┘   arena recycle     └───────────────┘                    └───────────────┘
+//! ```
+//!
+//! The trace is cut into contiguous epochs of `epoch_len` packets;
+//! parse worker `w` owns epochs `w, w+N, w+2N, …` and does everything
+//! packet-local — wire form, register keys, flow-start flag predicate,
+//! home shard, and the epoch-local first-seen *candidate* filter — with
+//! no shared state at all. The merge stage consumes epochs strictly in
+//! index order (each worker's output lane is itself FIFO, so lane
+//! round-robin by `epoch % N` *is* index order), finishes each packet
+//! with the only order-bound work left (global first-seen resolution on
+//! candidates, the one shared [`CrossFlowWindows`] walk), and steers it
+//! onto its home shard's engine lane. The reassembled stream the
+//! engines observe is the global arrival order, so the merged report is
+//! bit-identical to the sequential switch — see `steer.rs` for the
+//! candidate-resolution argument and `tests/prop_pipeline.rs` for the
+//! property pin.
+//!
+//! # Allocation discipline
+//!
+//! Epoch arenas follow the same recycled-arena protocol as the
+//! steer→engine batches: [`ARENAS_PER_WORKER`] arenas circulate per
+//! worker over a dedicated out/recycle lane pair, pre-provisioned from
+//! a cross-run pool before any worker spawns, rewritten in place, and
+//! deterministically recovered at run end (the merge stage pushes each
+//! worker's final arena straight to the pool; the worker drains the
+//! rest and returns them through its join value). Steady-state runs
+//! allocate no epoch memory; `tests/no_alloc.rs` pins this with the
+//! counting allocator.
+//!
+//! # Update barrier
+//!
+//! Scheduled updates key on *global packet index*, which every slot
+//! carries (`arena.base + i`), so the merge stage applies exactly the
+//! inline ingest barrier: flush every staged partial batch, then
+//! enqueue the update in-band on every engine lane. Mid-epoch indices
+//! need no special case — the check runs per slot, not per epoch.
+
+pub mod epoch;
+pub mod stage;
+pub mod steer;
+
+pub use epoch::{epoch_count, EpochBatch, ParsedSlot, ARENAS_PER_WORKER};
+pub use stage::parse_packet;
+pub use steer::resolve_and_count;
+
+use std::sync::Arc;
+
+use taurus_core::ingest::ObsBuilder;
+use taurus_core::ModelUpdate;
+use taurus_dataset::trace::TracePacket;
+use taurus_pisa::CrossFlowWindows;
+
+use crate::pipeline::stage::{parse_worker, ParsePlan};
+use crate::pipeline::steer::{Batch, ShardMsg, Steering};
+use crate::spsc;
+
+/// Everything one pipelined ingest run borrows from the runtime: the
+/// stream, the geometry, the order-bound state, and the lanes/pools the
+/// engine side already set up.
+pub(crate) struct PipelineRun<'run, 'env> {
+    /// The packet stream, in arrival order.
+    pub packets: &'env [TracePacket],
+    /// Parse workers to spawn (> 0; `0` selects the inline path in
+    /// `runtime.rs` and never reaches here).
+    pub workers: usize,
+    /// Packets per epoch.
+    pub epoch_len: usize,
+    /// Register-slot count routing folds through (see
+    /// [`crate::runtime::shard_of`]).
+    pub route_slots: usize,
+    /// Engine shard count.
+    pub shards: usize,
+    /// Packets per steer→engine batch.
+    pub batch_size: usize,
+    /// This run's scheduled updates, sorted by global install index.
+    pub updates: &'run [(u64, Arc<ModelUpdate>)],
+    /// Global first-seen bookkeeping (order-bound, merge-stage-owned).
+    pub seen: &'run mut ObsBuilder,
+    /// The one shared cross-flow window instance (order-bound).
+    pub windows: &'run mut CrossFlowWindows,
+    /// Cross-run pool of steer→engine batch arenas.
+    pub batch_pool: &'run mut Vec<Batch>,
+    /// Cross-run pool of epoch arenas.
+    pub epoch_pool: &'run mut Vec<EpochBatch>,
+    /// Per-shard reverse lanes returning drained engine batches.
+    pub recycle: &'run [spsc::Receiver<Batch>],
+    /// Per-shard steer→engine lanes.
+    pub senders: &'run [spsc::Sender<ShardMsg>],
+}
+
+/// Drives one pipelined ingest run: spawns the parse workers inside the
+/// caller's scope (alongside the already-running engine workers), merges
+/// their epochs in index order, and steers finished packets to the
+/// engine lanes. Returns with every parse worker joined; a worker panic
+/// is resumed on the calling thread (engine panics surface later, at
+/// the caller's own join).
+pub(crate) fn run<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    job: PipelineRun<'_, 'env>,
+) {
+    let PipelineRun {
+        packets,
+        workers,
+        epoch_len,
+        route_slots,
+        shards,
+        batch_size,
+        updates,
+        seen,
+        windows,
+        batch_pool,
+        epoch_pool,
+        recycle,
+        senders,
+    } = job;
+    debug_assert!(workers > 0, "the inline path handles workers == 0");
+    let epochs = epoch_count(packets.len(), epoch_len);
+    // Provision the epoch-arena pool before spawning anything: with
+    // every preload drawn from the pool, steady-state runs of a
+    // long-lived runtime allocate no epoch memory (first runs still
+    // grow each arena's slots to `epoch_len` in place).
+    let provision = workers * ARENAS_PER_WORKER;
+    while epoch_pool.len() < provision {
+        epoch_pool.push(EpochBatch::with_capacity(epoch_len));
+    }
+    let plan = ParsePlan { workers, epoch_len, route_slots, shards };
+    let mut out_lanes = Vec::with_capacity(workers);
+    let mut return_lanes = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers);
+    for worker in 0..workers {
+        // Out lane: at most the worker's own circulating arenas can be
+        // in flight, so `ARENAS_PER_WORKER` deep never blocks a send
+        // spuriously. Recycle lane: one slot of slack beyond the arena
+        // count so the merge stage's return send can never block — the
+        // same no-deadlock argument as the engine batch lanes.
+        let (out_tx, out_rx) = spsc::channel::<EpochBatch>(ARENAS_PER_WORKER);
+        let (ret_tx, ret_rx) = spsc::channel::<EpochBatch>(ARENAS_PER_WORKER + 1);
+        for _ in 0..ARENAS_PER_WORKER {
+            let arena = epoch_pool.pop().expect("pool provisioned above");
+            ret_tx.send(arena).expect("preload fits the fresh lane");
+        }
+        out_lanes.push(out_rx);
+        return_lanes.push(ret_tx);
+        handles.push(scope.spawn(move || parse_worker(worker, plan, packets, &out_tx, &ret_rx)));
+    }
+
+    let mut steer = Steering::new(batch_size, batch_pool, recycle, senders);
+    let mut next_update = 0usize;
+    'merge: for epoch in 0..epochs {
+        let worker = epoch % workers;
+        let Ok(mut arena) = out_lanes[worker].recv() else {
+            break 'merge; // a parse worker died; its panic surfaces at join
+        };
+        debug_assert_eq!(arena.epoch, epoch as u64, "lanes deliver epochs in index order");
+        for i in 0..arena.len {
+            let index = arena.base + i as u64;
+            while next_update < updates.len() && updates[next_update].0 == index {
+                steer.flush_and_update(&updates[next_update].1);
+                next_update += 1;
+            }
+            let slot = &mut arena.slots[i];
+            resolve_and_count(slot, seen, windows);
+            let shard = slot.shard as usize;
+            steer.slot(shard).clone_from(&slot.prepared);
+            if !steer.commit(shard) {
+                // An engine worker died; stop feeding, recover the
+                // arena, and surface the panic at the caller's join.
+                epoch_pool.push(arena);
+                break 'merge;
+            }
+        }
+        if epoch + workers >= epochs {
+            // The worker's final arena — it will never ask for another,
+            // so return it straight to the pool instead of the lane.
+            // This keeps end-of-run arena recovery deterministic: the
+            // worker drains exactly the non-final returns (see
+            // `parse_worker`), and nothing races a lane teardown.
+            epoch_pool.push(arena);
+        } else if return_lanes[worker].send(arena).is_err() {
+            break 'merge; // the worker died; surface at join
+        }
+    }
+    // Updates scheduled at or past the stream's end still land (after
+    // the last packet), so versions advance as promised.
+    for (_, update) in &updates[next_update..] {
+        steer.flush_and_update(update);
+    }
+    steer.finish();
+    // Close both lane directions: a worker blocked on an out-send (the
+    // merge bailed early) or a recycle recv wakes up and exits.
+    drop(out_lanes);
+    drop(return_lanes);
+    for handle in handles {
+        match handle.join() {
+            Ok(kept) => epoch_pool.extend(kept),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}

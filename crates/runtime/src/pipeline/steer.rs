@@ -1,0 +1,250 @@
+//! The steer/merge side of the ingest pipeline: the order-bound
+//! residue of ingest, plus the machinery that routes finished packets
+//! onto the engine shards' recycled-arena SPSC lanes.
+//!
+//! Two things live here:
+//!
+//! - [`resolve_and_count`]: the per-packet merge step. Given a
+//!   [`ParsedSlot`], it resolves the global first-seen bit (a set probe
+//!   only for per-epoch *candidates*) and runs the one shared
+//!   [`CrossFlowWindows`] in global arrival order — the only work in
+//!   the whole ingest path that is inherently sequential. Everything
+//!   expensive (parsing, hashing, candidate filtering, routing) already
+//!   happened in parallel on the parse stage.
+//! - [`Steering`]: the per-shard staging arenas and flush discipline,
+//!   shared by the inline (single-thread) ingest path and the pipelined
+//!   merge loop. It owns the recycle cycle (drained buffers return over
+//!   reverse SPSC lanes; replacements come lane → cross-run pool →
+//!   ramp-up allocation) and the in-band update barrier: flushing every
+//!   staged partial batch and then enqueuing the update on each FIFO
+//!   channel pins the install to one global packet index on every
+//!   shard.
+
+use std::sync::Arc;
+
+use taurus_core::ingest::ObsBuilder;
+use taurus_core::ModelUpdate;
+use taurus_pisa::CrossFlowWindows;
+
+use crate::pipeline::epoch::ParsedSlot;
+use crate::runtime::PreparedPacket;
+use crate::spsc;
+
+/// One ingest→engine batch: a recycled arena of [`PreparedPacket`]
+/// slots. The steer stage rewrites the slots of a drained buffer in
+/// place, the engine worker indexes them, and the emptied buffer
+/// travels back over a reverse SPSC lane — steady-state runs allocate
+/// no batch memory at all.
+pub(crate) type Batch = Vec<PreparedPacket>;
+
+/// One message on a steer→engine channel. Updates travel *in-band*:
+/// because each channel is FIFO and the steer stage flushes every
+/// staged batch before enqueuing the update, a worker applies it after
+/// every packet with global index < k and before any with index ≥ k —
+/// the batch-boundary barrier that makes live updates deterministic.
+pub(crate) enum ShardMsg {
+    /// A batch of routed packets (all slots live — truncated at flush).
+    Batch(Batch),
+    /// Install this model update now (shared: one prepared update, one
+    /// compiled program, every shard).
+    Update(Arc<ModelUpdate>),
+}
+
+/// Finishes one parsed slot: resolves the global flow-start bit and
+/// stamps the shared cross-flow window counts. Must be called in
+/// global arrival order — this is the sequential heart the epoch merge
+/// exists to keep small.
+///
+/// Bit-exactness argument: `candidate` is true only for the first
+/// packet of a connection within its epoch, and epochs partition the
+/// stream in order, so the first candidate of a connection across all
+/// epochs is exactly the connection's first packet — `mark_seen` then
+/// returns precisely what the sequential builder's per-packet insert
+/// would have. Non-candidates short-circuit without touching the set.
+/// With identical flow-start bits, feeding the same [`CrossFlowWindows`]
+/// in the same order yields identical counts.
+pub fn resolve_and_count(
+    slot: &mut ParsedSlot,
+    seen: &mut ObsBuilder,
+    windows: &mut CrossFlowWindows,
+) {
+    let is_start = slot.candidate && seen.mark_seen(slot.conn_id) && slot.start_flags_ok;
+    slot.prepared.obs.is_flow_start = is_start;
+    let (dst, srv) = windows.observe(&slot.prepared.obs);
+    slot.prepared.dst_count = dst;
+    slot.prepared.srv_count = srv;
+}
+
+/// Per-shard staging arenas plus the flush/update/recycle discipline —
+/// the writing end of the steer→engine lanes, used by both ingest
+/// modes.
+pub(crate) struct Steering<'a> {
+    staging: Vec<Batch>,
+    /// Live slots per staging arena (slots beyond the fill are stale
+    /// leftovers from the buffer's previous trip).
+    fills: Vec<usize>,
+    batch_size: usize,
+    pool: &'a mut Vec<Batch>,
+    recycle: &'a [spsc::Receiver<Batch>],
+    senders: &'a [spsc::Sender<ShardMsg>],
+    /// An engine worker died; stop feeding and let the caller surface
+    /// its panic at join.
+    dead: bool,
+}
+
+impl<'a> Steering<'a> {
+    pub fn new(
+        batch_size: usize,
+        pool: &'a mut Vec<Batch>,
+        recycle: &'a [spsc::Receiver<Batch>],
+        senders: &'a [spsc::Sender<ShardMsg>],
+    ) -> Self {
+        let shards = senders.len();
+        let staging = (0..shards).map(|_| pool.pop().unwrap_or_default()).collect();
+        Self { staging, fills: vec![0; shards], batch_size, pool, recycle, senders, dead: false }
+    }
+
+    /// The next writable slot on `shard`'s staging arena, growing the
+    /// arena only while it is still ramping up toward `batch_size`.
+    /// Write the packet in place, then [`Steering::commit`] it.
+    pub fn slot(&mut self, shard: usize) -> &mut PreparedPacket {
+        let buf = &mut self.staging[shard];
+        let fill = self.fills[shard];
+        if fill == buf.len() {
+            buf.push(PreparedPacket::default());
+        }
+        &mut buf[fill]
+    }
+
+    /// Commits the slot written via [`Steering::slot`], flushing the
+    /// arena when it reaches `batch_size`. Returns `false` once the
+    /// shard's engine worker is gone.
+    pub fn commit(&mut self, shard: usize) -> bool {
+        self.fills[shard] += 1;
+        if self.fills[shard] == self.batch_size {
+            self.flush(shard)
+        } else {
+            true
+        }
+    }
+
+    /// A replacement staging buffer: the shard's own recycle lane first
+    /// (cheapest, keeps the cycle closed), then the cross-run pool,
+    /// then — ramp-up only — a fresh allocation.
+    fn take_buf(&mut self, shard: usize) -> Batch {
+        self.recycle[shard]
+            .try_recv()
+            .ok()
+            .or_else(|| self.pool.pop())
+            .unwrap_or_else(|| Vec::with_capacity(self.batch_size))
+    }
+
+    /// Swaps `shard`'s staging arena out (truncating to its live slots)
+    /// and sends it; the replacement comes from the recycle cycle.
+    fn flush(&mut self, shard: usize) -> bool {
+        let replacement = self.take_buf(shard);
+        let mut batch = std::mem::replace(&mut self.staging[shard], replacement);
+        batch.truncate(self.fills[shard]);
+        self.fills[shard] = 0;
+        if self.senders[shard].send(ShardMsg::Batch(batch)).is_err() {
+            self.dead = true;
+            return false;
+        }
+        true
+    }
+
+    /// Flushes every staged partial batch, then enqueues the update
+    /// in-band on every channel: the FIFO order guarantees each worker
+    /// applies it at exactly this global packet boundary.
+    pub fn flush_and_update(&mut self, update: &Arc<ModelUpdate>) {
+        for shard in 0..self.senders.len() {
+            if self.fills[shard] > 0 {
+                self.flush(shard);
+            }
+        }
+        for tx in self.senders {
+            let _ = tx.send(ShardMsg::Update(Arc::clone(update)));
+        }
+    }
+
+    /// Ends the run: sends every non-empty partial batch and returns
+    /// empty staging arenas to the cross-run pool.
+    pub fn finish(self) {
+        for (shard, (mut batch, fill)) in self.staging.into_iter().zip(self.fills).enumerate() {
+            if fill > 0 && !self.dead {
+                batch.truncate(fill);
+                let _ = self.senders[shard].send(ShardMsg::Batch(batch));
+            } else {
+                self.pool.push(batch);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_core::ingest::{flow_start_flags_ok, ObsBuilder};
+    use taurus_dataset::kdd::KddGenerator;
+    use taurus_dataset::trace::{PacketTrace, TraceConfig};
+    use taurus_pisa::PipelineConfig;
+
+    use crate::pipeline::stage::parse_packet;
+
+    #[test]
+    fn candidate_resolution_reproduces_sequential_flow_starts_and_counts() {
+        // Drive resolve_and_count the way the merge loop does (epoch
+        // partition + per-epoch candidates) and pin it against the
+        // classic sequential ObsBuilder + CrossFlowWindows fold.
+        let records = KddGenerator::new(73).take(150);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let cfg = PipelineConfig::default();
+
+        let mut seq_builder = ObsBuilder::new();
+        let mut seq_windows = CrossFlowWindows::new(cfg.flow_slots, cfg.window_ns);
+
+        let mut merge_builder = ObsBuilder::new();
+        let mut merge_windows = CrossFlowWindows::new(cfg.flow_slots, cfg.window_ns);
+
+        for epoch_len in [1usize, 7, 64] {
+            seq_builder.reset();
+            seq_windows.clear();
+            merge_builder.reset();
+            merge_windows.clear();
+            let mut epoch_seen = std::collections::HashSet::new();
+            let mut slot = ParsedSlot::default();
+            for chunk in trace.packets.chunks(epoch_len) {
+                epoch_seen.clear(); // epoch boundary
+                for tp in chunk {
+                    let golden_obs = seq_builder.observe(tp);
+                    let (gd, gs) = seq_windows.observe(&golden_obs);
+
+                    let candidate = epoch_seen.insert(tp.conn_id);
+                    parse_packet(tp, &mut slot, cfg.flow_slots, 4, candidate);
+                    resolve_and_count(&mut slot, &mut merge_builder, &mut merge_windows);
+                    assert_eq!(slot.prepared.obs, golden_obs, "epoch_len={epoch_len}");
+                    assert_eq!((slot.prepared.dst_count, slot.prepared.srv_count), (gd, gs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_candidates_never_touch_the_global_seen_set() {
+        let records = KddGenerator::new(74).take(30);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let tp = &trace.packets[0];
+        let cfg = PipelineConfig::default();
+        let mut builder = ObsBuilder::new();
+        let mut windows = CrossFlowWindows::new(cfg.flow_slots, cfg.window_ns);
+        let mut slot = ParsedSlot::default();
+        // Not a candidate: even a never-seen connection must not be
+        // marked seen (its candidate packet comes earlier in the epoch).
+        parse_packet(tp, &mut slot, cfg.flow_slots, 1, false);
+        resolve_and_count(&mut slot, &mut builder, &mut windows);
+        assert!(!slot.prepared.obs.is_flow_start);
+        // The connection is still unseen: its real candidate resolves.
+        assert!(builder.mark_seen(tp.conn_id), "set untouched by the non-candidate");
+        let _ = flow_start_flags_ok(tp);
+    }
+}

@@ -1,33 +1,41 @@
 //! The sharded runtime: N [`TaurusSwitch`] replicas on worker threads,
-//! fed fixed-size packet batches over bounded SPSC channels by a single
-//! ingest stage that owns everything order-sensitive.
+//! fed fixed-size packet batches over bounded SPSC channels by an
+//! ingest stage that owns everything order-sensitive — either a single
+//! inline thread (the classic path) or the parallel epoch pipeline
+//! ([`crate::pipeline`]) with N parse workers in front of a sequential
+//! merge/steer stage. Both produce bit-identical streams.
 //!
 //! # Why this partitioning is exact
 //!
 //! A packet's verdict depends on three kinds of register state:
 //!
 //! 1. **Per-flow registers** (bytes, packets, flags), keyed by the
-//!    canonical five-tuple hash. Packets are routed by that same hash
-//!    (`canonical().hash() % shards`), so a flow's packets always land
-//!    on one shard — and because every shard keeps the *full*
-//!    `flow_slots` register capacity and the shard count divides it,
-//!    two flows that collide in a register slot (`k₁ ≡ k₂ mod slots`)
-//!    also collide in the shard index (`k₁ ≡ k₂ mod shards`). Collision
-//!    structure, and therefore every per-flow feature, is bit-identical
-//!    to the sequential switch.
+//!    canonical five-tuple hash. Packets are routed by the hash's
+//!    *register slot*: [`shard_of`] folds `flow_key % flow_slots` onto
+//!    the shard count, so a flow's packets always land on one shard —
+//!    and two flows that collide in a register slot share a shard for
+//!    **any** shard count, not just divisors of `flow_slots`. Because
+//!    every shard also keeps the full `flow_slots` register capacity,
+//!    collision structure — and therefore every per-flow feature — is
+//!    bit-identical to the sequential switch.
 //! 2. **Cross-flow windows** (destination-host / destination-service
 //!    fan-in), keyed by the responder — *not* flow-consistent. The
 //!    ingest stage runs the one [`CrossFlowWindows`] instance in global
-//!    arrival order and ships each packet's counts inside its batch
-//!    entry, exactly as the paper's hardware computes register features
-//!    before any egress fan-out.
-//! 3. **Flow-start bookkeeping** ([`ObsBuilder`]), also sequential at
-//!    ingest.
+//!    arrival order (inline, or on the pipeline's merge stage) and
+//!    ships each packet's counts inside its batch entry, exactly as the
+//!    paper's hardware computes register features before any egress
+//!    fan-out.
+//! 3. **Flow-start bookkeeping** ([`ObsBuilder`]), also sequential —
+//!    though the pipeline's parse workers pre-filter per-epoch
+//!    candidates so the merge stage probes the seen-set once per
+//!    (connection, epoch) instead of once per packet.
 //!
 //! Workers therefore run pure flow-local computation (MATs + MapReduce
 //! inference — the expensive part) in parallel, and the merged report
 //! equals the sequential switch's report exactly. The determinism test
-//! suite (`tests/determinism.rs`) pins this for shard counts 1/2/4/8.
+//! suite (`tests/determinism.rs`) pins this for shard counts 1/2/4/8,
+//! and `tests/prop_pipeline.rs` extends the pin across random epoch
+//! lengths and parse-worker counts.
 
 use std::sync::Arc;
 
@@ -42,6 +50,9 @@ use taurus_ml::BinaryMetrics;
 use taurus_pisa::registers::PacketObs;
 use taurus_pisa::{CrossFlowWindows, Packet, PipelineConfig, Verdict};
 
+use crate::pipeline::epoch::EpochBatch;
+use crate::pipeline::steer::{Batch, ShardMsg, Steering};
+use crate::pipeline::{self, PipelineRun};
 use crate::spsc;
 
 /// One packet as it crosses an ingest→worker channel: the wire packet,
@@ -75,29 +86,71 @@ impl Default for PreparedPacket {
     }
 }
 
-/// One ingest→worker batch: a recycled arena of [`PreparedPacket`]
-/// slots. Ingest rewrites the slots of a drained buffer in place
-/// (`to_packet_into`/`observe_into`), the worker indexes them, and the
-/// emptied buffer travels back over a reverse SPSC lane — steady-state
-/// runs allocate no batch memory at all.
-type Batch = Vec<PreparedPacket>;
-
-/// One message on an ingest→worker channel. Updates travel *in-band*:
-/// because each channel is FIFO and ingest flushes every staged batch
-/// before enqueuing the update, a worker applies it after every packet
-/// with global index < k and before any with index ≥ k — the
-/// batch-boundary barrier that makes live updates deterministic.
-enum ShardMsg {
-    /// A batch of routed packets (first `len` slots are live).
-    Batch(Batch),
-    /// Install this model update now (shared: one prepared update, one
-    /// compiled program, every shard).
-    Update(Arc<ModelUpdate>),
+/// The home shard for a flow key: the key's per-flow register slot
+/// (`flow_key % flow_slots`) folded onto the shard count.
+///
+/// Routing by the *slot* rather than the raw key is what makes sharding
+/// exact for **any** shard count: two flows that collide in a register
+/// slot (`k₁ ≡ k₂ mod flow_slots`) map to the same slot value and
+/// therefore the same shard, so collision structure — and every
+/// per-flow feature derived from it — matches the sequential switch
+/// bit for bit. (For power-of-two `flow_slots` and a dividing shard
+/// count this reduces to the old `key % shards`, so existing goldens
+/// are unchanged.)
+pub fn shard_of(flow_key: u64, flow_slots: usize, shards: usize) -> usize {
+    (flow_key % flow_slots as u64) as usize % shards
 }
 
-/// The home shard for a flow key: `canonical().hash() % shards`.
-pub fn shard_of(flow_key: u64, shards: usize) -> usize {
-    (flow_key % shards as u64) as usize
+/// Why [`RuntimeBuilder::try_build`] rejected a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No app was registered; an empty roster has nothing to execute.
+    EmptyRoster,
+    /// Two registered apps share a name.
+    DuplicateApp(DuplicateAppError),
+    /// The pipeline config has zero per-flow register slots; routing
+    /// (`flow_key % flow_slots`) is undefined.
+    NoFlowSlots,
+    /// More shards than per-flow register slots: slot-based routing
+    /// covers shard indices `0..flow_slots`, so the surplus shards
+    /// could never receive a packet.
+    MoreShardsThanFlowSlots {
+        /// Requested shard count.
+        shards: usize,
+        /// Per-shard register capacity routing folds through.
+        flow_slots: usize,
+    },
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::EmptyRoster => write!(f, "register at least one TaurusApp before build()"),
+            Self::DuplicateApp(e) => write!(f, "{e}"),
+            Self::NoFlowSlots => write!(f, "pipeline flow_slots must be positive to route flows"),
+            Self::MoreShardsThanFlowSlots { shards, flow_slots } => write!(
+                f,
+                "shard count {shards} exceeds the {flow_slots} per-flow register slots; \
+                 shards beyond the slot range would never receive a packet — lower the shard \
+                 count or raise PipelineConfig.flow_slots / shard_flow_slots()"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::DuplicateApp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DuplicateAppError> for BuildError {
+    fn from(e: DuplicateAppError) -> Self {
+        Self::DuplicateApp(e)
+    }
 }
 
 /// Builds a [`ShardedRuntime`]: shard/batch/queue geometry plus the app
@@ -120,6 +173,8 @@ pub struct RuntimeBuilder<'a> {
     shards: usize,
     batch_size: usize,
     queue_depth: usize,
+    parse_workers: Option<usize>,
+    epoch_len: usize,
     config: PipelineConfig,
     backend: EngineBackend,
     shard_flow_slots: Option<usize>,
@@ -132,6 +187,8 @@ impl Default for RuntimeBuilder<'_> {
             shards: 1,
             batch_size: 64,
             queue_depth: 4,
+            parse_workers: None,
+            epoch_len: 512,
             config: PipelineConfig::default(),
             backend: EngineBackend::default(),
             shard_flow_slots: None,
@@ -149,11 +206,11 @@ impl<'a> RuntimeBuilder<'a> {
 
     /// Number of switch replicas / worker threads.
     ///
-    /// Exact equivalence with the sequential switch requires this to
-    /// divide the pipeline's `flow_slots` (the default 4096 covers
-    /// every power of two up to 4096) so register collisions stay
-    /// shard-local; [`RuntimeBuilder::build`] enforces it unless
-    /// [`RuntimeBuilder::shard_flow_slots`] opted out of exactness.
+    /// Any shard count up to the per-flow register capacity is exact:
+    /// packets are routed by register *slot* ([`shard_of`]), so
+    /// colliding flows share a shard whether or not the count divides
+    /// `flow_slots`. Counts beyond the capacity are rejected at build
+    /// ([`BuildError::MoreShardsThanFlowSlots`]).
     ///
     /// # Panics
     ///
@@ -161,6 +218,36 @@ impl<'a> RuntimeBuilder<'a> {
     pub fn shards(mut self, n: usize) -> Self {
         assert!(n > 0, "a runtime needs at least one shard");
         self.shards = n;
+        self
+    }
+
+    /// Number of parallel parse/flow-steer workers feeding the merge
+    /// stage ([`crate::pipeline`]); `0` selects the classic inline
+    /// single-thread ingest. Both modes produce bit-identical reports —
+    /// this knob trades threads for ingest throughput, never semantics.
+    ///
+    /// Default (unset): derived from [`std::thread::available_parallelism`]
+    /// at build, leaving cores for the merge stage and the engine
+    /// workers — `cores.saturating_sub(shards + 1).min(4)` — which
+    /// resolves to inline ingest on small hosts.
+    pub fn parse_workers(mut self, n: usize) -> Self {
+        self.parse_workers = Some(n);
+        self
+    }
+
+    /// Packets per pipeline epoch: the granularity at which parse
+    /// workers slice the trace and the merge stage reassembles it.
+    /// Irrelevant to results (any epoch length merges to the same
+    /// stream); larger epochs amortize lane traffic, smaller ones bound
+    /// the merge stage's reorder latency. Only consulted when the
+    /// pipeline is active (`parse_workers > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn epoch_len(mut self, n: usize) -> Self {
+        assert!(n > 0, "epoch_len must be positive");
+        self.epoch_len = n;
         self
     }
 
@@ -203,8 +290,10 @@ impl<'a> RuntimeBuilder<'a> {
     /// [`taurus_pisa::FlowTracker`] sizing hook). By default every shard
     /// keeps the full `flow_slots` so collision structure — and thus
     /// features — match the sequential switch exactly; shrinking this
-    /// (e.g. to `flow_slots / shards`) trades that exactness for
-    /// memory proportionality.
+    /// (e.g. to `flow_slots / shards`) trades that exactness for memory
+    /// proportionality. Routing follows the override ([`shard_of`] folds
+    /// through the replica capacity), so flows that collide in a
+    /// replica's registers still share a shard.
     pub fn shard_flow_slots(mut self, slots: usize) -> Self {
         assert!(slots > 0, "shard_flow_slots must be positive");
         self.shard_flow_slots = Some(slots);
@@ -234,52 +323,58 @@ impl<'a> RuntimeBuilder<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if no app was registered, if two registered apps share a
-    /// name (see [`RuntimeBuilder::try_build`] for the non-panicking
-    /// form), or if the shard count does not divide `flow_slots` while
-    /// exactness is promised (no [`RuntimeBuilder::shard_flow_slots`]
-    /// override) — a non-dividing count would silently split register
-    /// collisions across shards and break the bit-for-bit guarantee.
+    /// Panics on any [`BuildError`] (empty roster, duplicate app name,
+    /// zero register capacity, more shards than register slots) — see
+    /// [`RuntimeBuilder::try_build`] for the non-panicking form.
     pub fn build(self) -> ShardedRuntime {
         self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Builds the runtime, rejecting duplicate app names up front — a
-    /// duplicate used to surface only as a panic deep inside replica
-    /// construction (once per shard, from the infallible registration
-    /// path); here the whole roster is validated before any replica,
-    /// program clone, or thread resource is created.
+    /// Builds the runtime, validating the whole configuration up front
+    /// — before any replica, program clone, or thread resource is
+    /// created — and returning a typed [`BuildError`] instead of
+    /// panicking partway through construction.
     ///
     /// # Errors
     ///
-    /// [`DuplicateAppError`] naming the first contested app name.
-    ///
-    /// # Panics
-    ///
-    /// Still panics on the *configuration* errors that have no dynamic
-    /// cause: an empty roster, or a shard count that breaks the
-    /// exactness contract (see [`RuntimeBuilder::build`]).
-    pub fn try_build(self) -> Result<ShardedRuntime, DuplicateAppError> {
-        assert!(!self.apps.is_empty(), "register at least one TaurusApp before build()");
+    /// - [`BuildError::EmptyRoster`] if no app was registered.
+    /// - [`BuildError::DuplicateApp`] naming the first contested app
+    ///   name.
+    /// - [`BuildError::NoFlowSlots`] if the pipeline config has zero
+    ///   per-flow register slots.
+    /// - [`BuildError::MoreShardsThanFlowSlots`] if the shard count
+    ///   exceeds the per-shard register capacity — slot-based routing
+    ///   could never reach the surplus shards.
+    pub fn try_build(self) -> Result<ShardedRuntime, BuildError> {
+        if self.apps.is_empty() {
+            return Err(BuildError::EmptyRoster);
+        }
         for (i, (app, _)) in self.apps.iter().enumerate() {
             if self.apps[..i].iter().any(|(prev, _)| prev.name() == app.name()) {
-                return Err(DuplicateAppError { name: app.name().to_string() });
+                return Err(DuplicateAppError { name: app.name().to_string() }.into());
             }
         }
-        if self.shard_flow_slots.is_none() {
-            assert!(
-                self.config.flow_slots.is_multiple_of(self.shards),
-                "shard count {} must divide flow_slots {} for exact sharding; use a \
-                 power-of-two shard count, adjust PipelineConfig.flow_slots, or opt out of \
-                 exactness with shard_flow_slots()",
-                self.shards,
-                self.config.flow_slots
-            );
+        // Routing folds flow keys through the replicas' register
+        // capacity so register collisions stay shard-local for any
+        // shard count (see `shard_of`).
+        let route_slots = self.shard_flow_slots.unwrap_or(self.config.flow_slots);
+        if route_slots == 0 {
+            return Err(BuildError::NoFlowSlots);
         }
-        let replica_config = PipelineConfig {
-            flow_slots: self.shard_flow_slots.unwrap_or(self.config.flow_slots),
-            ..self.config.clone()
-        };
+        if self.shards > route_slots {
+            return Err(BuildError::MoreShardsThanFlowSlots {
+                shards: self.shards,
+                flow_slots: route_slots,
+            });
+        }
+        let parse_workers = self.parse_workers.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            // Leave a core each for the merge stage and the engine
+            // workers before dedicating any to parsing; cap the stage
+            // where parse stops being the bottleneck.
+            cores.saturating_sub(self.shards + 1).min(4)
+        });
+        let replica_config = PipelineConfig { flow_slots: route_slots, ..self.config.clone() };
         let switches = (0..self.shards)
             .map(|_| {
                 self.apps
@@ -294,10 +389,14 @@ impl<'a> RuntimeBuilder<'a> {
             switches,
             batch_size: self.batch_size,
             queue_depth: self.queue_depth,
+            parse_workers,
+            epoch_len: self.epoch_len,
+            route_slots,
             obs_builder: ObsBuilder::new(),
             windows: CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
             pending_updates: Vec::new(),
             batch_pool: Vec::new(),
+            epoch_pool: Vec::new(),
         })
     }
 }
@@ -377,6 +476,12 @@ pub struct ShardedRuntime {
     switches: Vec<TaurusSwitch>,
     batch_size: usize,
     queue_depth: usize,
+    /// Parse workers per run (`0` = inline ingest), resolved at build.
+    parse_workers: usize,
+    /// Packets per pipeline epoch.
+    epoch_len: usize,
+    /// Register-slot count routing folds through ([`shard_of`]).
+    route_slots: usize,
     obs_builder: ObsBuilder,
     windows: CrossFlowWindows,
     /// Updates scheduled for the next run, sorted by install index
@@ -386,6 +491,9 @@ pub struct ShardedRuntime {
     /// are emptied into this pool when a run finishes, so a long-lived
     /// runtime's second and later runs allocate no batch memory.
     batch_pool: Vec<Batch>,
+    /// Epoch arenas surviving across runs (pipelined ingest only), the
+    /// epoch-lane analogue of `batch_pool`.
+    epoch_pool: Vec<EpochBatch>,
 }
 
 impl ShardedRuntime {
@@ -397,6 +505,17 @@ impl ShardedRuntime {
     /// Packets per ingest batch.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Parse workers per run (`0` = inline single-thread ingest); see
+    /// [`RuntimeBuilder::parse_workers`].
+    pub fn parse_worker_count(&self) -> usize {
+        self.parse_workers
+    }
+
+    /// Packets per pipeline epoch; see [`RuntimeBuilder::epoch_len`].
+    pub fn epoch_len(&self) -> usize {
+        self.epoch_len
     }
 
     /// Installs a model update on every shard *now* (between runs).
@@ -451,10 +570,13 @@ impl ShardedRuntime {
         self.run_packets(&trace.packets)
     }
 
-    /// Drives a packet stream through the sharded data plane: the
-    /// calling thread ingests (observations, shared cross-flow windows,
-    /// flow-consistent routing, batching), one worker thread per shard
-    /// executes its replica, and the per-shard reports are merged.
+    /// Drives a packet stream through the sharded data plane: ingest
+    /// (observations, shared cross-flow windows, flow-consistent
+    /// routing, batching) runs either inline on the calling thread or —
+    /// with `parse_workers > 0` — as the parallel epoch pipeline
+    /// ([`crate::pipeline`]); one worker thread per shard executes its
+    /// replica, and the per-shard reports are merged. Both ingest modes
+    /// produce bit-identical reports.
     ///
     /// Updates scheduled via [`ShardedRuntime::schedule_update`] are
     /// consumed by this run and applied in-band at their global packet
@@ -472,9 +594,12 @@ impl ShardedRuntime {
         let shards = self.switches.len();
         let batch_size = self.batch_size;
         let queue_depth = self.queue_depth;
+        let parse_workers = self.parse_workers;
+        let epoch_len = self.epoch_len;
+        let route_slots = self.route_slots;
         let updates = std::mem::take(&mut self.pending_updates);
         // Split borrows: workers own the switches, ingest owns the rest.
-        let Self { switches, obs_builder, windows, batch_pool, .. } = self;
+        let Self { switches, obs_builder, windows, batch_pool, epoch_pool, .. } = self;
         // Provision the recycle pool up front: a shard's buffer cycle
         // peaks at `queue_depth + 3` buffers (staging + in-flight +
         // worker + freshly taken), so this many can ever be live. With
@@ -544,105 +669,63 @@ impl ShardedRuntime {
                 }));
             }
 
-            // A replacement staging buffer: the shard's own recycle
-            // lane first (cheapest, keeps the cycle closed), then the
-            // cross-run pool, then — ramp-up only — a fresh allocation.
-            let take_buf = |pool: &mut Vec<Batch>, lane: &spsc::Receiver<Batch>| -> Batch {
-                lane.try_recv()
-                    .ok()
-                    .or_else(|| pool.pop())
-                    .unwrap_or_else(|| Vec::with_capacity(batch_size))
-            };
-
-            // Swap a full staging arena out (truncating to its live
-            // slots) and send it; the replacement comes from the
-            // recycle cycle.
-            let flush_shard = |staging: &mut Batch,
-                               fill: &mut usize,
-                               pool: &mut Vec<Batch>,
-                               lane: &spsc::Receiver<Batch>,
-                               tx: &spsc::Sender<ShardMsg>|
-             -> Result<(), spsc::SendError<ShardMsg>> {
-                let mut batch = std::mem::replace(staging, take_buf(pool, lane));
-                batch.truncate(*fill);
-                *fill = 0;
-                tx.send(ShardMsg::Batch(batch))
-            };
-
-            // Flush every staged partial batch, then enqueue the update
-            // in-band on every channel: the FIFO order guarantees each
-            // worker applies it at exactly this global packet boundary.
-            let flush_and_update = |staging: &mut Vec<Batch>,
-                                    fills: &mut Vec<usize>,
-                                    pool: &mut Vec<Batch>,
-                                    recycle: &[spsc::Receiver<Batch>],
-                                    senders: &[spsc::Sender<ShardMsg>],
-                                    update: &Arc<ModelUpdate>| {
-                for (shard, (batch, fill)) in staging.iter_mut().zip(fills.iter_mut()).enumerate() {
-                    if *fill > 0 {
-                        let _ = flush_shard(batch, fill, pool, &recycle[shard], &senders[shard]);
+            if parse_workers == 0 {
+                // Inline ingest: everything order-sensitive on the
+                // calling thread, steered through the shared staging
+                // machinery (`pipeline::steer::Steering`).
+                let mut steer = Steering::new(batch_size, batch_pool, &recycle, &senders);
+                let mut next_update = 0usize;
+                'ingest: for (index, tp) in packets.iter().enumerate() {
+                    while next_update < updates.len() && updates[next_update].0 == index as u64 {
+                        steer.flush_and_update(&updates[next_update].1);
+                        next_update += 1;
+                    }
+                    let obs = obs_builder.observe(tp);
+                    let (dst_count, srv_count) = windows.observe(&obs);
+                    let shard = shard_of(obs.flow_key, route_slots, shards);
+                    // Rewrite a recycled slot in place.
+                    let slot = steer.slot(shard);
+                    to_packet_into(tp, &mut slot.pkt);
+                    slot.obs = obs;
+                    slot.dst_count = dst_count;
+                    slot.srv_count = srv_count;
+                    slot.anomalous = tp.anomalous;
+                    if !steer.commit(shard) {
+                        // The worker died; stop feeding and surface its
+                        // panic at join below.
+                        break 'ingest;
                     }
                 }
-                for tx in senders {
-                    let _ = tx.send(ShardMsg::Update(Arc::clone(update)));
+                // Updates scheduled at or past the stream's end still
+                // land (after the last packet), so versions advance as
+                // promised.
+                for (_, update) in &updates[next_update..] {
+                    steer.flush_and_update(update);
                 }
-            };
-
-            let mut staging: Vec<Batch> =
-                (0..shards).map(|_| batch_pool.pop().unwrap_or_default()).collect();
-            // Live slots per staging arena (slots beyond the fill are
-            // stale leftovers from the buffer's previous trip).
-            let mut fills: Vec<usize> = vec![0; shards];
-            let mut next_update = 0usize;
-            'ingest: for (index, tp) in packets.iter().enumerate() {
-                while next_update < updates.len() && updates[next_update].0 == index as u64 {
-                    flush_and_update(
-                        &mut staging,
-                        &mut fills,
+                steer.finish();
+            } else {
+                // Pipelined ingest: N parse workers slice the trace into
+                // epochs; the merge stage (this thread) reassembles them
+                // in index order, resolves the order-bound state, and
+                // steers — bit-identical to the inline path.
+                pipeline::run(
+                    scope,
+                    PipelineRun {
+                        packets,
+                        workers: parse_workers,
+                        epoch_len,
+                        route_slots,
+                        shards,
+                        batch_size,
+                        updates: &updates,
+                        seen: obs_builder,
+                        windows,
                         batch_pool,
-                        &recycle,
-                        &senders,
-                        &updates[next_update].1,
-                    );
-                    next_update += 1;
-                }
-                let obs = obs_builder.observe(tp);
-                let (dst_count, srv_count) = windows.observe(&obs);
-                let shard = shard_of(obs.flow_key, shards);
-                // Rewrite a recycled slot in place; push only while the
-                // arena is still growing toward batch_size.
-                let buf = &mut staging[shard];
-                let fill = &mut fills[shard];
-                if *fill == buf.len() {
-                    buf.push(PreparedPacket::default());
-                }
-                let slot = &mut buf[*fill];
-                to_packet_into(tp, &mut slot.pkt);
-                slot.obs = obs;
-                slot.dst_count = dst_count;
-                slot.srv_count = srv_count;
-                slot.anomalous = tp.anomalous;
-                *fill += 1;
-                if *fill == batch_size
-                    && flush_shard(buf, fill, batch_pool, &recycle[shard], &senders[shard]).is_err()
-                {
-                    // The worker died; stop feeding and surface its
-                    // panic at join below.
-                    break 'ingest;
-                }
-            }
-            // Updates scheduled at or past the stream's end still land
-            // (after the last packet), so versions advance as promised.
-            for (_, update) in &updates[next_update..] {
-                flush_and_update(&mut staging, &mut fills, batch_pool, &recycle, &senders, update);
-            }
-            for (shard, (mut batch, fill)) in staging.into_iter().zip(fills).enumerate() {
-                if fill > 0 {
-                    batch.truncate(fill);
-                    let _ = senders[shard].send(ShardMsg::Batch(batch));
-                } else {
-                    batch_pool.push(batch);
-                }
+                        epoch_pool,
+                        recycle: &recycle,
+                        senders: &senders,
+                    },
+                );
             }
             drop(senders); // close the channels: workers drain and exit
             for (i, h) in handles.into_iter().enumerate() {
@@ -702,6 +785,8 @@ impl core::fmt::Debug for ShardedRuntime {
             .field("shards", &self.switches.len())
             .field("batch_size", &self.batch_size)
             .field("queue_depth", &self.queue_depth)
+            .field("parse_workers", &self.parse_workers)
+            .field("epoch_len", &self.epoch_len)
             .finish()
     }
 }
@@ -722,10 +807,31 @@ mod tests {
     fn shard_of_is_total_and_stable() {
         for key in [0u64, 1, 4095, u64::MAX] {
             for shards in 1..=8 {
-                assert!(shard_of(key, shards) < shards);
-                assert_eq!(shard_of(key, shards), shard_of(key, shards));
+                assert!(shard_of(key, 4096, shards) < shards);
+                assert_eq!(shard_of(key, 4096, shards), shard_of(key, 4096, shards));
             }
-            assert_eq!(shard_of(key, 1), 0, "one shard hosts everything");
+            assert_eq!(shard_of(key, 4096, 1), 0, "one shard hosts everything");
+        }
+    }
+
+    #[test]
+    fn slot_routing_keeps_register_collisions_shard_local_for_any_count() {
+        // Two keys that collide in a register slot must share a shard —
+        // the exactness invariant — for dividing AND non-dividing shard
+        // counts alike.
+        let slots = 4096usize;
+        for (k1, k2) in [(7u64, 7 + 4096), (0, 3 * 4096), (4095, 4095 + 7 * 4096)] {
+            assert_eq!(k1 % slots as u64, k2 % slots as u64, "test premise: same slot");
+            for shards in [1usize, 2, 3, 4, 5, 6, 7, 8] {
+                assert_eq!(shard_of(k1, slots, shards), shard_of(k2, slots, shards));
+            }
+        }
+        // And for power-of-two geometries the fold reduces to the old
+        // `key % shards`, so historical routing (and goldens) hold.
+        for key in [0u64, 1, 12345, u64::MAX] {
+            for shards in [1usize, 2, 4, 8] {
+                assert_eq!(shard_of(key, 4096, shards), (key % shards as u64) as usize);
+            }
         }
     }
 
@@ -759,10 +865,10 @@ mod tests {
         for tp in &t.packets {
             let key = tp.tuple.canonical().hash();
             let rev_key = tp.tuple.reversed().canonical().hash();
-            for shards in [2usize, 4, 8] {
+            for shards in [2usize, 3, 4, 8] {
                 assert_eq!(
-                    shard_of(key, shards),
-                    shard_of(rev_key, shards),
+                    shard_of(key, 4096, shards),
+                    shard_of(rev_key, 4096, shards),
                     "both directions share a home shard"
                 );
             }
@@ -829,22 +935,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must divide flow_slots")]
-    fn non_dividing_shard_count_rejected_when_exactness_is_promised() {
+    fn non_dividing_shard_counts_build_and_route_every_packet() {
+        // Slot-based routing removed the old divisibility constraint:
+        // 3 shards against the default 4096 slots is now exact, not a
+        // panic.
         let syn = SynFloodDetector::default_deployment();
-        let _ = RuntimeBuilder::new()
-            .shards(3) // 3 does not divide the default 4096 slots
-            .register_on(&syn, EngineBackend::Threshold)
-            .build();
+        let t = trace(120, 35);
+        for shards in [3usize, 5, 7] {
+            let mut rt = RuntimeBuilder::new()
+                .shards(shards)
+                .register_on(&syn, EngineBackend::Threshold)
+                .build();
+            let report = rt.run_trace(&t);
+            assert_eq!(report.merged.packets, t.packets.len() as u64);
+        }
     }
 
     #[test]
-    fn shard_flow_slots_opts_out_of_the_divisibility_check() {
+    fn more_shards_than_register_slots_is_a_typed_build_error() {
+        let syn = SynFloodDetector::default_deployment();
+        let err = RuntimeBuilder::new()
+            .shards(8)
+            .shard_flow_slots(4) // 8 shards cannot share 4 route slots
+            .register_on(&syn, EngineBackend::Threshold)
+            .try_build()
+            .expect_err("impossible geometry must be rejected");
+        assert_eq!(err, BuildError::MoreShardsThanFlowSlots { shards: 8, flow_slots: 4 });
+        assert!(err.to_string().contains("exceeds the 4 per-flow register slots"), "{err}");
+        // At the boundary (one slot per shard) the config is legal.
+        let rt = RuntimeBuilder::new()
+            .shards(4)
+            .shard_flow_slots(4)
+            .register_on(&syn, EngineBackend::Threshold)
+            .try_build()
+            .expect("shards == flow_slots is the legal extreme");
+        assert_eq!(rt.shard_count(), 4);
+    }
+
+    #[test]
+    fn shard_flow_slots_still_opts_into_approximate_sharding() {
         let syn = SynFloodDetector::default_deployment();
         let t = trace(60, 35);
         let mut rt = RuntimeBuilder::new()
             .shards(3)
-            .shard_flow_slots(2048) // explicit opt-out: approximate sharding
+            .shard_flow_slots(2048) // smaller replicas: approximate sharding
             .backend(EngineBackend::Threshold)
             .register(&syn)
             .build();
@@ -877,7 +1011,10 @@ mod tests {
             .register_on(&b, EngineBackend::Threshold)
             .try_build()
             .expect_err("duplicate roster must be rejected");
-        assert_eq!(err.name, "syn-flood");
+        let BuildError::DuplicateApp(ref dup) = err else {
+            panic!("expected DuplicateApp, got {err:?}");
+        };
+        assert_eq!(dup.name, "syn-flood");
         assert!(err.to_string().contains("duplicate app name `syn-flood`"), "{err}");
 
         // A clean roster builds fine through the same path.
@@ -936,6 +1073,33 @@ mod tests {
         assert_eq!(report.segments.len(), 2);
         assert_eq!(report.segments[1].total(), 0, "nothing left to decide");
         assert_eq!(rt.app_versions(), vec![("syn-flood".to_string(), 1)]);
+    }
+
+    #[test]
+    fn pipelined_ingest_reports_bit_identical_to_inline() {
+        let syn = SynFloodDetector::default_deployment();
+        let t = trace(300, 39);
+        let build = |workers: usize, epoch_len: usize| {
+            RuntimeBuilder::new()
+                .shards(4)
+                .batch_size(16)
+                .parse_workers(workers)
+                .epoch_len(epoch_len)
+                .register_on(&syn, EngineBackend::Threshold)
+                .build()
+        };
+        let golden = build(0, 512).run_trace(&t);
+        for (workers, epoch_len) in [(1, 64), (2, 64), (3, 7), (2, 1), (2, 100_000)] {
+            let mut rt = build(workers, epoch_len);
+            assert_eq!(rt.parse_worker_count(), workers);
+            let report = rt.run_trace(&t);
+            assert_eq!(
+                report, golden,
+                "workers={workers} epoch_len={epoch_len} must match inline ingest"
+            );
+            // A second run on the warm runtime (recycled arenas) too.
+            assert_eq!(rt.run_trace(&t).merged.packets, 2 * golden.merged.packets);
+        }
     }
 
     #[test]

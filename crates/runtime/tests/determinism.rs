@@ -101,6 +101,80 @@ fn sharded_equals_sequential_on_threshold_backend_large_trace() {
 }
 
 #[test]
+fn non_dividing_shard_counts_and_parse_workers_stay_exact() {
+    // Slot-based routing lifts the old power-of-two restriction: shard
+    // counts that do not divide the register slot count (3, 5, 6) must
+    // be exact too, with ingest inline (0 parse workers) and pipelined
+    // (1..3 parse workers) producing the same merged report bit for bit.
+    let detector = AnomalyDetector::train_default(24, 1_000);
+    let syn = SynFloodDetector::default_deployment();
+    let trace = default_kdd_trace(600, 24);
+
+    let golden = sequential_report(
+        || {
+            SwitchBuilder::new()
+                .register_on(&detector, EngineBackend::Threshold)
+                .register_on(&syn, EngineBackend::Threshold)
+                .build()
+        },
+        &trace,
+    );
+
+    for shards in [3usize, 5, 6] {
+        for parse_workers in [0usize, 1, 2, 3] {
+            let mut rt = RuntimeBuilder::new()
+                .shards(shards)
+                .batch_size(17) // deliberately unaligned with everything
+                .parse_workers(parse_workers)
+                .epoch_len(48)
+                .backend(EngineBackend::Threshold)
+                .register(&detector)
+                .register(&syn)
+                .build();
+            let report = rt.run_trace(&trace);
+            assert_eq!(
+                report.merged, golden,
+                "diverged at shards={shards} parse_workers={parse_workers}"
+            );
+            let routed: u64 = report.shards.iter().map(|s| s.packets).sum();
+            assert_eq!(routed, golden.packets, "every packet routed exactly once");
+        }
+    }
+}
+
+#[test]
+fn pipelined_cgra_roster_matches_sequential() {
+    // The compiled-CGRA deployment through the full parse → merge →
+    // steer pipeline: the heavyweight backend must see exactly the
+    // packets (and window counts) the sequential switch saw.
+    let detector = AnomalyDetector::train_default(25, 1_200);
+    let syn = SynFloodDetector::default_deployment();
+    let trace = default_kdd_trace(150, 25);
+
+    let golden = sequential_report(
+        || SwitchBuilder::new().register(&detector).register(&syn).build(),
+        &trace,
+    );
+    assert!(golden.ml_packets > 0, "trace exercises the ML path");
+
+    for (shards, parse_workers) in [(2usize, 1usize), (4, 2), (8, 3)] {
+        let mut rt = RuntimeBuilder::new()
+            .shards(shards)
+            .batch_size(32)
+            .parse_workers(parse_workers)
+            .epoch_len(64)
+            .register(&detector)
+            .register(&syn)
+            .build();
+        let report = rt.run_trace(&trace);
+        assert_eq!(
+            report.merged, golden,
+            "pipelined CGRA run diverged at shards={shards} workers={parse_workers}"
+        );
+    }
+}
+
+#[test]
 fn observe_only_apps_report_identically_when_sharded() {
     // VerdictPolicy is part of the merged report; an observe-only
     // roster must shard exactly too (its counters still merge).

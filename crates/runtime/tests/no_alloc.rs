@@ -130,6 +130,32 @@ fn sharded_threshold_roster_allocates_independent_of_stream_length() {
 fn sharded_cgra_roster_allocates_independent_of_stream_length() {
     let detector = AnomalyDetector::train_default(9, 400);
     let single = trace(250, 52);
-    let rt = RuntimeBuilder::new().shards(2).batch_size(32).register(&detector).build();
+    let rt = RuntimeBuilder::new()
+        .shards(2)
+        .batch_size(32)
+        .parse_workers(0) // pin the classic inline ingest path
+        .register(&detector)
+        .build();
     assert_scale_invariant(rt, &single, "cgra x2");
+}
+
+#[test]
+fn pipelined_ingest_allocates_independent_of_stream_length() {
+    // The parallel ingest pipeline adds epoch arenas, per-worker SPSC
+    // lanes, and per-epoch candidate sets to the hot path; all of that
+    // must be provisioned per *run* (epoch pool, preloaded lanes,
+    // capacity-pinned HashSet), never per packet or per epoch. Doubling
+    // the stream doubles the epochs a worker parses — so any per-epoch
+    // allocation (arena growth, lane churn, set rehash) would break the
+    // equality below.
+    let syn = SynFloodDetector::default_deployment();
+    let single = trace(400, 53);
+    let rt = RuntimeBuilder::new()
+        .shards(2)
+        .batch_size(32)
+        .parse_workers(2)
+        .epoch_len(64)
+        .register_on(&syn, EngineBackend::Threshold)
+        .build();
+    assert_scale_invariant(rt, &single, "pipelined threshold x2 (2 parse workers)");
 }

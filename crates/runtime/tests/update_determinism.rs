@@ -126,6 +126,47 @@ fn threshold_retune_mid_stream_matches_sequential_for_shards_1_2_4() {
 }
 
 #[test]
+fn update_landing_mid_epoch_applies_at_the_same_global_index_under_the_pipeline() {
+    // The parallel ingest pipeline consumes packets epoch by epoch, but
+    // the update barrier keys on *global packet index* — an index that
+    // falls in the middle of an epoch must split segments at exactly
+    // that packet, just like inline ingest and the sequential switch.
+    let detector = AnomalyDetector::train_default(54, 1_000);
+    let syn = SynFloodDetector::default_deployment();
+    let retune = syn.retune(15, 1, EngineBackend::Threshold);
+    let trace = default_kdd_trace(500, 57);
+    let epoch_len = 64usize;
+    // Deliberately mid-epoch: well inside epoch 3, aligned to nothing.
+    let k = 3 * epoch_len + 17;
+    assert!(k < trace.packets.len());
+
+    let build = || {
+        SwitchBuilder::new()
+            .register_on(&detector, EngineBackend::Threshold)
+            .register_on(&syn, EngineBackend::Threshold)
+            .build()
+    };
+    let (golden, golden_segments) = sequential_with_update(build, &trace, k, &[&retune]);
+
+    for shards in [1usize, 2, 4] {
+        let mut rt = RuntimeBuilder::new()
+            .shards(shards)
+            .batch_size(7) // unaligned with k and with epoch_len
+            .parse_workers(2)
+            .epoch_len(epoch_len)
+            .backend(EngineBackend::Threshold)
+            .register(&detector)
+            .register(&syn)
+            .build();
+        rt.schedule_update(k as u64, retune.clone());
+        let report = rt.run_trace(&trace);
+        assert_eq!(report.merged, golden, "pipelined run diverged at {shards} shards");
+        assert_eq!(report.segments, golden_segments, "segment split moved at {shards} shards");
+        assert_eq!(report.segments[0].total(), k as u64, "old model decided exactly {k} packets");
+    }
+}
+
+#[test]
 fn two_updates_at_the_same_index_install_in_schedule_order() {
     let syn = SynFloodDetector::default_deployment();
     let trace = default_kdd_trace(200, 56);
