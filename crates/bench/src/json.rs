@@ -231,6 +231,7 @@ impl ToJson for SwitchReport {
             ("ml_packets", Json::UInt(self.ml_packets)),
             ("dropped", Json::UInt(self.dropped)),
             ("flagged", Json::UInt(self.flagged)),
+            ("evictions", Json::UInt(self.evictions)),
             ("apps", self.apps.to_json()),
         ])
     }
@@ -353,6 +354,7 @@ mod tests {
             ml_packets: 8,
             dropped: 2,
             flagged: 1,
+            evictions: 0,
             apps: vec![AppReport {
                 name: "anomaly-detection".into(),
                 reaction: ReactionTime::PerPacket,

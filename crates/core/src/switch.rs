@@ -66,6 +66,9 @@ pub struct SwitchReport {
     pub dropped: u64,
     /// Packets flagged (but forwarded) by the combined verdict.
     pub flagged: u64,
+    /// Flow-table slots evicted by idle timeout across all hosted apps
+    /// (0 unless `PipelineConfig::idle_timeout_ns` is set).
+    pub evictions: u64,
     /// Per-app identities and counters, in registration order.
     pub apps: Vec<AppReport>,
 }
@@ -122,6 +125,7 @@ impl SwitchReport {
         self.ml_packets += other.ml_packets;
         self.dropped += other.dropped;
         self.flagged += other.flagged;
+        self.evictions += other.evictions;
         for (mine, theirs) in self.apps.iter_mut().zip(&other.apps) {
             mine.counters.absorb(&theirs.counters);
         }
@@ -487,6 +491,7 @@ impl TaurusSwitch {
             ml_packets: self.aggregate.ml_packets,
             dropped: self.aggregate.dropped,
             flagged: self.aggregate.flagged,
+            evictions: self.apps.iter().map(|app| app.pipeline.evictions()).sum(),
             apps: self
                 .apps
                 .iter()

@@ -1,0 +1,138 @@
+//! Bounded flow-table state: idle-timeout expiration for the register
+//! stage.
+//!
+//! A real data plane serves traffic indefinitely, so per-flow register
+//! slots must be *reclaimable*: a slot whose flow has gone idle longer
+//! than the timeout is logically dead and its accumulated counters must
+//! not leak into whatever flow hashes there next. Hardware flow tables
+//! do this with expiration sweeps or timestamp checks on access;
+//! [`IdleTable`] implements the lazy per-slot variant — one extra
+//! register array holding each slot's last-seen timestamp (with the same
+//! `ts + 1` sentinel the tracker's `first_ts` array uses, so 0 means
+//! "never seen"), checked on every access. No background sweeper thread,
+//! no timer wheel: the check rides the packet that would observe the
+//! stale state anyway, which keeps the hot path allocation-free and —
+//! because slot-based shard routing sends every packet of a register
+//! slot through one shard in global arrival order — makes eviction
+//! decisions bit-identical across shard/worker geometries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::registers::RegisterArray;
+
+/// Lazy idle-timeout table: one `last_seen` register per flow slot plus
+/// an eviction counter. A timeout of 0 disables expiration entirely
+/// (the table then never stamps or evicts, so a disabled tracker is
+/// bit-identical to one without the table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleTable {
+    /// Last access per slot, stored as `ts_ns + 1` (0 = slot empty).
+    last_seen: RegisterArray,
+    idle_timeout_ns: u64,
+    evictions: u64,
+}
+
+impl IdleTable {
+    /// Creates a table over `slots` register cells. `idle_timeout_ns`
+    /// of 0 disables expiration.
+    pub fn new(slots: usize, idle_timeout_ns: u64) -> Self {
+        Self { last_seen: RegisterArray::new("last_seen", slots), idle_timeout_ns, evictions: 0 }
+    }
+
+    /// Whether expiration is active.
+    pub fn enabled(&self) -> bool {
+        self.idle_timeout_ns != 0
+    }
+
+    /// The configured idle timeout, ns (0 = disabled).
+    pub fn idle_timeout_ns(&self) -> u64 {
+        self.idle_timeout_ns
+    }
+
+    /// Reconfigures the timeout. Setting 0 disables expiration; already
+    /// stamped timestamps are left in place (harmless — they are only
+    /// consulted while enabled).
+    pub fn set_idle_timeout(&mut self, idle_timeout_ns: u64) {
+        self.idle_timeout_ns = idle_timeout_ns;
+    }
+
+    /// Evictions since construction or the last [`IdleTable::clear`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Stamps the slot's last-seen time and reports whether the slot's
+    /// previous occupant idled out: `true` means the caller must clear
+    /// the slot's per-flow registers before accumulating this packet
+    /// (the eviction counter has already been bumped). Disabled tables
+    /// never stamp and never evict.
+    pub fn touch(&mut self, key: u64, now_ns: u64) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let prev = self.last_seen.read(key);
+        self.last_seen.write(key, now_ns as i64 + 1);
+        if prev == 0 {
+            return false;
+        }
+        let last = (prev - 1).max(0) as u64;
+        if now_ns.saturating_sub(last) >= self.idle_timeout_ns {
+            self.evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets all timestamps and the eviction counter.
+    pub fn clear(&mut self) {
+        self.last_seen.clear();
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_table_never_stamps_or_evicts() {
+        let mut t = IdleTable::new(8, 0);
+        assert!(!t.enabled());
+        assert!(!t.touch(3, 1_000));
+        assert!(!t.touch(3, u64::MAX));
+        assert_eq!(t.evictions(), 0);
+        assert_eq!(t, IdleTable::new(8, 0), "no state mutated while disabled");
+    }
+
+    #[test]
+    fn idle_gap_at_or_past_the_timeout_evicts_once() {
+        let mut t = IdleTable::new(8, 1_000);
+        assert!(!t.touch(5, 100), "first touch of an empty slot");
+        assert!(!t.touch(5, 900), "gap below timeout");
+        assert!(t.touch(5, 1_900), "gap == timeout evicts");
+        assert_eq!(t.evictions(), 1);
+        assert!(!t.touch(5, 2_000), "fresh occupant, small gap");
+        assert!(t.touch(5, 50_000), "long gap evicts again");
+        assert_eq!(t.evictions(), 2);
+    }
+
+    #[test]
+    fn timestamp_zero_first_touch_is_not_an_eviction() {
+        // ts 0 stamps the sentinel 1, distinguishing "empty" from
+        // "seen at t=0" — mirroring the tracker's first_ts discipline.
+        let mut t = IdleTable::new(4, 10);
+        assert!(!t.touch(1, 0));
+        assert!(t.touch(1, 10), "slot stamped at t=0 idles out at t=10");
+    }
+
+    #[test]
+    fn clear_restores_the_freshly_built_state() {
+        let mut t = IdleTable::new(8, 1_000);
+        t.touch(1, 5);
+        t.touch(1, 5_000);
+        assert_eq!(t.evictions(), 1);
+        t.clear();
+        assert_eq!(t, IdleTable::new(8, 1_000));
+    }
+}

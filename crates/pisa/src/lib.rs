@@ -22,6 +22,7 @@
 //! - [`pipeline`]: the assembled Taurus data plane with per-block latency
 //!   accounting and a pluggable inference engine.
 
+pub mod flow_table;
 pub mod mat;
 pub mod packet;
 pub mod parser;
@@ -30,6 +31,7 @@ pub mod pipeline;
 pub mod registers;
 pub mod sched;
 
+pub use flow_table::IdleTable;
 pub use mat::{Action, MatchKind, MatchTable, VliwOp};
 pub use packet::Packet;
 pub use parser::Parser;

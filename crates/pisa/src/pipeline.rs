@@ -141,11 +141,21 @@ pub struct PipelineConfig {
     pub feature_count: usize,
     /// Queue capacity on each of the three sub-queues.
     pub queue_capacity: usize,
+    /// Idle timeout for per-flow register slots, ns (0 = never expire).
+    /// Slots idle at least this long are evicted before their next
+    /// packet accumulates, bounding live flow state for long streams.
+    pub idle_timeout_ns: u64,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { flow_slots: 4096, window_ns: 5_000_000, feature_count: 6, queue_capacity: 1024 }
+        Self {
+            flow_slots: 4096,
+            window_ns: 5_000_000,
+            feature_count: 6,
+            queue_capacity: 1024,
+            idle_timeout_ns: 0,
+        }
     }
 }
 
@@ -193,10 +203,12 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
         engine: E,
         formatter: impl FnMut(&FlowFeatures, &mut Vec<i32>) + Send + 'static,
     ) -> Self {
+        let mut tracker = FlowTracker::new(config.flow_slots, config.window_ns);
+        tracker.set_idle_timeout(config.idle_timeout_ns);
         Self {
             parser: Parser::new(),
             pre_tables: Vec::new(),
-            tracker: FlowTracker::new(config.flow_slots, config.window_ns),
+            tracker,
             formatter: Box::new(formatter),
             engine,
             post_tables: Vec::new(),
@@ -281,9 +293,12 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
             self.ml_packets += 1;
             self.feature_scratch.clear();
             (self.formatter)(&features, &mut self.feature_scratch);
+            // Truncate once, before *both* consumers: the PHV (which
+            // feature-matching MATs read) and the engine must see the
+            // same codes even if a formatter over-emits.
+            self.feature_scratch.truncate(self.config.feature_count);
             self.phv.set_features(&self.feature_scratch);
-            let n = self.config.feature_count.min(self.feature_scratch.len());
-            ml_out = self.engine.infer(&self.feature_scratch[..n]);
+            ml_out = self.engine.infer(&self.feature_scratch);
             self.phv.set(Field::MlOut, ml_out);
             latency += self.engine.latency_ns();
             self.join.ml.push(());
@@ -308,6 +323,12 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
     /// `(total packets, ML-path packets)`.
     pub fn stats(&self) -> (u64, u64) {
         (self.packets, self.ml_packets)
+    }
+
+    /// Flow slots evicted by idle timeout since construction or the
+    /// last [`TaurusPipeline::reset_state`].
+    pub fn evictions(&self) -> u64 {
+        self.tracker.evictions()
     }
 }
 
@@ -485,6 +506,48 @@ mod tests {
             assert_eq!(r.ml_out, 0, "bypassed packets carry no ML output");
         }
         assert_eq!(p.stats(), (50, 0));
+    }
+
+    #[test]
+    fn over_emitting_formatter_is_truncated_before_the_engine() {
+        struct WidthCheck {
+            expect: usize,
+        }
+        impl InferenceEngine for WidthCheck {
+            fn infer(&mut self, features: &[i32]) -> i64 {
+                assert_eq!(features.len(), self.expect, "engine sees the truncated width");
+                i64::from(features.iter().sum::<i32>())
+            }
+            fn latency_ns(&self) -> u64 {
+                1
+            }
+        }
+        let cfg = PipelineConfig { feature_count: 4, ..PipelineConfig::default() };
+        let mut p = TaurusPipeline::new(cfg, WidthCheck { expect: 4 }, |_f, out| {
+            out.extend([1, 2, 3, 4, 100, 200]); // over-emits two codes
+        });
+        let pkt = Packet::tcp(1, 2, 1000, 80, 0x02, 100);
+        let r = p.process(&pkt, obs_for(&pkt, true));
+        assert!(!r.bypassed);
+        assert_eq!(r.ml_out, 10, "extra codes reach neither the engine nor the PHV");
+    }
+
+    #[test]
+    fn configured_idle_timeout_reaches_the_tracker_and_surfaces_evictions() {
+        let cfg = PipelineConfig { idle_timeout_ns: 10_000, ..PipelineConfig::default() };
+        let mut p = TaurusPipeline::new(cfg, ThresholdEngine { threshold: i64::MAX }, |f, out| {
+            out.extend(f.encode_dnn6().iter().map(|&v| v as i32));
+        });
+        let mut pkt = Packet::tcp(1, 2, 1000, 80, 0x02, 100);
+        pkt.ts_ns = 1_000;
+        let first = p.process(&pkt, obs_for(&pkt, true));
+        assert_eq!(first.features.packets, 1);
+        pkt.ts_ns = 500_000; // far past the idle timeout
+        let again = p.process(&pkt, obs_for(&pkt, true));
+        assert_eq!(again.features.packets, 1, "slot evicted, flow restarts fresh");
+        assert_eq!(p.evictions(), 1);
+        p.reset_state();
+        assert_eq!(p.evictions(), 0, "reset clears the eviction counter");
     }
 
     #[test]

@@ -17,6 +17,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::flow_table::IdleTable;
+
 /// A register array: the PISA stateful primitive (bounded memory, indexed
 /// by a hash — collisions are a modeled artifact, as in real switches).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -169,8 +171,9 @@ impl WindowCounters {
         }
     }
 
-    fn observe(&mut self, key: u64, now_ns: u64) -> u64 {
-        self.rotate_if_needed(now_ns);
+    /// Bumps the key's current-epoch cell and returns the windowed
+    /// total. The caller must have rotated for this timestamp already.
+    fn bump(&mut self, key: u64) -> u64 {
         let cur = self.current.add(key, 1);
         (cur + self.previous.read(key)).max(0) as u64
     }
@@ -214,10 +217,14 @@ impl CrossFlowWindows {
     }
 
     /// Observes one packet and returns `(dst_count, srv_count)`: flow
-    /// starts bump the windows, non-starts read them.
+    /// starts bump the windows, non-starts read them. Both banks rotate
+    /// on *every* packet — a non-start arriving after an idle gap must
+    /// not read fan-in counts that should have aged out of the window.
     pub fn observe(&mut self, obs: &PacketObs) -> (u64, u64) {
+        self.dst.rotate_if_needed(obs.ts_ns);
+        self.srv.rotate_if_needed(obs.ts_ns);
         if obs.is_flow_start {
-            (self.dst.observe(obs.dst_key, obs.ts_ns), self.srv.observe(obs.srv_key, obs.ts_ns))
+            (self.dst.bump(obs.dst_key), self.srv.bump(obs.srv_key))
         } else {
             (self.dst.read(obs.dst_key), self.srv.read(obs.srv_key))
         }
@@ -241,6 +248,9 @@ pub struct FlowTracker {
     first_ts: RegisterArray,
     windows: CrossFlowWindows,
     window_ns: u64,
+    /// Idle-timeout expiration over the per-flow slots (disabled by
+    /// default): the bounded-memory story for long-lived streams.
+    idle: IdleTable,
 }
 
 /// One packet's worth of observation input to [`FlowTracker::observe`].
@@ -279,7 +289,28 @@ impl FlowTracker {
             first_ts: RegisterArray::new("first_ts", slots),
             windows: CrossFlowWindows::new(slots, window_ns),
             window_ns,
+            idle: IdleTable::new(slots, 0),
         }
+    }
+
+    /// Enables (or, with 0, disables) idle-timeout expiration of
+    /// per-flow slots. A slot untouched for at least `idle_timeout_ns`
+    /// is cleared before its next packet accumulates, so that packet
+    /// re-observes as a fresh flow start rather than inheriting the
+    /// dead occupant's counters.
+    pub fn set_idle_timeout(&mut self, idle_timeout_ns: u64) {
+        self.idle.set_idle_timeout(idle_timeout_ns);
+    }
+
+    /// The configured idle timeout, ns (0 = expiration disabled).
+    pub fn idle_timeout_ns(&self) -> u64 {
+        self.idle.idle_timeout_ns()
+    }
+
+    /// Slots evicted by idle timeout since construction or the last
+    /// [`FlowTracker::clear`].
+    pub fn evictions(&self) -> u64 {
+        self.idle.evictions()
     }
 
     /// Register cells per array — the capacity a sharded runtime must
@@ -319,6 +350,9 @@ impl FlowTracker {
         srv_count: u64,
     ) -> FlowFeatures {
         let k = obs.flow_key;
+        if self.idle.touch(k, obs.ts_ns) {
+            self.evict_slot(k);
+        }
         let packets = self.pkt_count.add(k, 1) as u64;
         let (fwd, rev) = if obs.reverse {
             (self.fwd_bytes.read(k), self.rev_bytes.add(k, i64::from(obs.len)))
@@ -351,7 +385,20 @@ impl FlowTracker {
         }
     }
 
-    /// Clears all state (e.g., between experiment runs).
+    /// Zeroes one slot's per-flow registers — the eviction action. The
+    /// cross-flow windows are untouched: they are keyed by destination,
+    /// not by flow slot, and age out on their own rotation schedule.
+    fn evict_slot(&mut self, key: u64) {
+        self.pkt_count.write(key, 0);
+        self.fwd_bytes.write(key, 0);
+        self.rev_bytes.write(key, 0);
+        self.urg_count.write(key, 0);
+        self.syn_count.write(key, 0);
+        self.first_ts.write(key, 0);
+    }
+
+    /// Clears all state (e.g., between experiment runs), including the
+    /// idle table and its eviction counter.
     pub fn clear(&mut self) {
         self.pkt_count.clear();
         self.fwd_bytes.clear();
@@ -360,6 +407,7 @@ impl FlowTracker {
         self.syn_count.clear();
         self.first_ts.clear();
         self.windows.clear();
+        self.idle.clear();
     }
 }
 
@@ -432,6 +480,42 @@ mod tests {
         // Two full windows later the old counts have aged out.
         let f = t.observe(&obs(35, 3_500, 60, 0x02, true, false));
         assert!(f.dst_count <= 2, "old epoch forgotten, got {}", f.dst_count);
+    }
+
+    #[test]
+    fn non_start_reads_rotate_the_window_too() {
+        let mut w = CrossFlowWindows::new(64, 1_000);
+        // Three flow starts to dst key 0 inside one window…
+        for flow in [7u64, 14, 21] {
+            w.observe(&obs(flow, 100, 60, 0x02, true, false));
+        }
+        // …then a non-start to the same keys two full windows later:
+        // the stale fan-in must have aged out, not read back as 3.
+        let (d, s) = w.observe(&obs(28, 3_000, 60, 0x10, false, false));
+        assert_eq!((d, s), (0, 0), "idle gap ages out counts for reads too");
+    }
+
+    #[test]
+    fn idle_timeout_evicts_and_the_flow_restarts_fresh() {
+        let mut t = FlowTracker::new(64, 1_000_000);
+        t.set_idle_timeout(10_000);
+        assert_eq!(t.idle_timeout_ns(), 10_000);
+        assert_eq!(t.observe(&obs(1, 1_000, 100, 0x02, true, false)).packets, 1);
+        assert_eq!(t.observe(&obs(1, 2_000, 100, 0x10, false, false)).packets, 2);
+        // Gap ≥ timeout: the slot is reclaimed and this packet opens a
+        // fresh flow — no inherited counters, no inherited first_ts.
+        let f = t.observe(&obs(1, 50_000, 80, 0x02, true, false));
+        assert_eq!(f.packets, 1, "evicted slot restarts at packet 1");
+        assert_eq!(f.duration_ns, 0);
+        assert_eq!(f.fwd_bytes, 80);
+        assert_eq!(t.evictions(), 1);
+
+        // The same stream with expiration disabled keeps accumulating.
+        let mut u = FlowTracker::new(64, 1_000_000);
+        u.observe(&obs(1, 1_000, 100, 0x02, true, false));
+        u.observe(&obs(1, 2_000, 100, 0x10, false, false));
+        assert_eq!(u.observe(&obs(1, 50_000, 80, 0x02, true, false)).packets, 3);
+        assert_eq!(u.evictions(), 0);
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //! [`deploy::run_online_deployment`] closes the §5.2.3 loop by training
 //! online against the live runtime and measuring the *deployed* F1.
 //!
+//! Underneath the run-at-a-time API lives the persistent
+//! [`StreamingRuntime`] ([`service`]): engine workers are spawned once
+//! and stay resident, ingest is a push-style stream source
+//! ([`StreamingRuntime::feed`] / [`StreamingRuntime::drain`] /
+//! [`StreamingRuntime::shutdown`]), updates can be scheduled against
+//! the global stream index while the service is live, and the
+//! per-flow table supports idle-timeout eviction
+//! ([`taurus_pisa::PipelineConfig::idle_timeout_ns`]) so flow state
+//! stays bounded on endless streams.
+//!
 //! ```
 //! use taurus_core::apps::SynFloodDetector;
 //! use taurus_core::EngineBackend;
@@ -50,6 +60,7 @@
 pub mod deploy;
 pub mod pipeline;
 pub mod runtime;
+pub mod service;
 pub mod spsc;
 
 pub use deploy::{run_online_deployment, DeploymentConfig, DeploymentReport, DeploymentRound};
@@ -57,3 +68,4 @@ pub use pipeline::{epoch_count, parse_packet, resolve_and_count, EpochBatch, Par
 pub use runtime::{
     shard_of, BuildError, PreparedPacket, RuntimeBuilder, RuntimeReport, ShardStats, ShardedRuntime,
 };
+pub use service::StreamingRuntime;

@@ -61,17 +61,20 @@ use taurus_dataset::trace::TracePacket;
 use taurus_pisa::CrossFlowWindows;
 
 use crate::pipeline::stage::{parse_worker, ParsePlan};
-use crate::pipeline::steer::{Batch, ShardMsg, Steering};
+use crate::pipeline::steer::{Batch, ShardMsg, SteerState, Steering};
 use crate::spsc;
 
-/// Everything one pipelined ingest run borrows from the runtime: the
+/// Everything one pipelined ingest feed borrows from the runtime: the
 /// stream, the geometry, the order-bound state, and the lanes/pools the
 /// engine side already set up.
 pub(crate) struct PipelineRun<'run, 'env> {
     /// The packet stream, in arrival order.
     pub packets: &'env [TracePacket],
+    /// Global stream index of `packets[0]` — nonzero once earlier feeds
+    /// advanced the resident runtime's position.
+    pub stream_base: u64,
     /// Parse workers to spawn (> 0; `0` selects the inline path in
-    /// `runtime.rs` and never reaches here).
+    /// `service.rs` and never reaches here).
     pub workers: usize,
     /// Packets per epoch.
     pub epoch_len: usize,
@@ -82,12 +85,16 @@ pub(crate) struct PipelineRun<'run, 'env> {
     pub shards: usize,
     /// Packets per steer→engine batch.
     pub batch_size: usize,
-    /// This run's scheduled updates, sorted by global install index.
+    /// Pending updates, sorted by global install index. Only those whose
+    /// index falls inside this feed are consumed (the return value says
+    /// how many); later ones stay pending for future feeds or the drain.
     pub updates: &'run [(u64, Arc<ModelUpdate>)],
     /// Global first-seen bookkeeping (order-bound, merge-stage-owned).
     pub seen: &'run mut ObsBuilder,
     /// The one shared cross-flow window instance (order-bound).
     pub windows: &'run mut CrossFlowWindows,
+    /// The resident steer staging state.
+    pub steer: &'run mut SteerState,
     /// Cross-run pool of steer→engine batch arenas.
     pub batch_pool: &'run mut Vec<Batch>,
     /// Cross-run pool of epoch arenas.
@@ -98,18 +105,21 @@ pub(crate) struct PipelineRun<'run, 'env> {
     pub senders: &'run [spsc::Sender<ShardMsg>],
 }
 
-/// Drives one pipelined ingest run: spawns the parse workers inside the
-/// caller's scope (alongside the already-running engine workers), merges
-/// their epochs in index order, and steers finished packets to the
-/// engine lanes. Returns with every parse worker joined; a worker panic
-/// is resumed on the calling thread (engine panics surface later, at
-/// the caller's own join).
+/// Drives one pipelined ingest feed: spawns the parse workers inside
+/// the caller's scope (alongside the already-running engine workers),
+/// merges their epochs in index order, and steers finished packets to
+/// the engine lanes. Partial batches are flushed at the feed boundary,
+/// so the engines observe every packet without waiting for a next feed.
+/// Returns the number of scheduled updates consumed, with every parse
+/// worker joined; a parse-worker panic is resumed on the calling thread
+/// (engine panics surface later, at the runtime's drain).
 pub(crate) fn run<'scope, 'env>(
     scope: &'scope std::thread::Scope<'scope, 'env>,
     job: PipelineRun<'_, 'env>,
-) {
+) -> usize {
     let PipelineRun {
         packets,
+        stream_base,
         workers,
         epoch_len,
         route_slots,
@@ -118,6 +128,7 @@ pub(crate) fn run<'scope, 'env>(
         updates,
         seen,
         windows,
+        steer: steer_state,
         batch_pool,
         epoch_pool,
         recycle,
@@ -154,7 +165,7 @@ pub(crate) fn run<'scope, 'env>(
         handles.push(scope.spawn(move || parse_worker(worker, plan, packets, &out_tx, &ret_rx)));
     }
 
-    let mut steer = Steering::new(batch_size, batch_pool, recycle, senders);
+    let mut steer = Steering::new(steer_state, batch_size, batch_pool, recycle, senders);
     let mut next_update = 0usize;
     'merge: for epoch in 0..epochs {
         let worker = epoch % workers;
@@ -163,9 +174,16 @@ pub(crate) fn run<'scope, 'env>(
         };
         debug_assert_eq!(arena.epoch, epoch as u64, "lanes deliver epochs in index order");
         for i in 0..arena.len {
-            let index = arena.base + i as u64;
-            while next_update < updates.len() && updates[next_update].0 == index {
-                steer.flush_and_update(&updates[next_update].1);
+            // Arena bases are feed-relative; updates key on the global
+            // stream index. `<=` (not `==`) so an update scheduled at
+            // an index an earlier feed already passed installs before
+            // this feed's first packet rather than never.
+            let index = stream_base + arena.base + i as u64;
+            while next_update < updates.len() && updates[next_update].0 <= index {
+                if !steer.flush_and_update(&updates[next_update].1) {
+                    epoch_pool.push(arena);
+                    break 'merge;
+                }
                 next_update += 1;
             }
             let slot = &mut arena.slots[i];
@@ -174,7 +192,7 @@ pub(crate) fn run<'scope, 'env>(
             steer.slot(shard).clone_from(&slot.prepared);
             if !steer.commit(shard) {
                 // An engine worker died; stop feeding, recover the
-                // arena, and surface the panic at the caller's join.
+                // arena, and surface the panic at the runtime's drain.
                 epoch_pool.push(arena);
                 break 'merge;
             }
@@ -190,12 +208,10 @@ pub(crate) fn run<'scope, 'env>(
             break 'merge; // the worker died; surface at join
         }
     }
-    // Updates scheduled at or past the stream's end still land (after
-    // the last packet), so versions advance as promised.
-    for (_, update) in &updates[next_update..] {
-        steer.flush_and_update(update);
-    }
-    steer.finish();
+    // Feed boundary: the engines must observe every packet of this feed
+    // now — a next feed (or the drain) may be far away. Updates beyond
+    // the feed's end stay pending; the drain installs the leftovers.
+    steer.flush_partials();
     // Close both lane directions: a worker blocked on an out-send (the
     // merge bailed early) or a recycle recv wakes up and exits.
     drop(out_lanes);
@@ -206,4 +222,5 @@ pub(crate) fn run<'scope, 'env>(
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
+    next_update
 }

@@ -46,8 +46,20 @@ pub(crate) enum ShardMsg {
     /// A batch of routed packets (all slots live — truncated at flush).
     Batch(Batch),
     /// Install this model update now (shared: one prepared update, one
-    /// compiled program, every shard).
+    /// compiled program, every shard). In-band and panic-on-failure:
+    /// the scheduled-update barrier.
     Update(Arc<ModelUpdate>),
+    /// Install this update now and *reply* with the result instead of
+    /// panicking — the control-plane path behind
+    /// `StreamingRuntime::install_update`.
+    Install(Arc<ModelUpdate>),
+    /// Snapshot per-run stats and the replica report, reply, and reset
+    /// the per-run counters — the drain barrier. If the worker caught a
+    /// panic earlier in the run, the reply carries the payload instead.
+    Drain,
+    /// Clear the replica's flow state and counters (and any caught
+    /// panic) — the resident-worker form of `TaurusSwitch::reset`.
+    Reset,
 }
 
 /// Finishes one parsed slot: resolves the global flow-start bit and
@@ -75,41 +87,58 @@ pub fn resolve_and_count(
     slot.prepared.srv_count = srv;
 }
 
-/// Per-shard staging arenas plus the flush/update/recycle discipline —
-/// the writing end of the steer→engine lanes, used by both ingest
-/// modes.
-pub(crate) struct Steering<'a> {
+/// The steer stage's resident state: per-shard staging arenas, their
+/// fill levels, and the dead-shard latch. Owned by the runtime (it
+/// outlives any single feed), while [`Steering`] borrows it together
+/// with the per-feed lane references.
+pub(crate) struct SteerState {
     staging: Vec<Batch>,
     /// Live slots per staging arena (slots beyond the fill are stale
     /// leftovers from the buffer's previous trip).
     fills: Vec<usize>,
-    batch_size: usize,
-    pool: &'a mut Vec<Batch>,
-    recycle: &'a [spsc::Receiver<Batch>],
-    senders: &'a [spsc::Sender<ShardMsg>],
     /// An engine worker died; stop feeding and let the caller surface
     /// its panic at join.
     dead: bool,
 }
 
+impl SteerState {
+    /// One staging arena per shard, drawn from the cross-run pool.
+    pub fn new(shards: usize, pool: &mut Vec<Batch>) -> Self {
+        let staging = (0..shards).map(|_| pool.pop().unwrap_or_default()).collect();
+        Self { staging, fills: vec![0; shards], dead: false }
+    }
+}
+
+/// Per-shard staging arenas plus the flush/update/recycle discipline —
+/// the writing end of the steer→engine lanes, used by both ingest
+/// modes. The staging arenas live in [`SteerState`] so they survive
+/// across feeds of a resident runtime.
+pub(crate) struct Steering<'a> {
+    state: &'a mut SteerState,
+    batch_size: usize,
+    pool: &'a mut Vec<Batch>,
+    recycle: &'a [spsc::Receiver<Batch>],
+    senders: &'a [spsc::Sender<ShardMsg>],
+}
+
 impl<'a> Steering<'a> {
     pub fn new(
+        state: &'a mut SteerState,
         batch_size: usize,
         pool: &'a mut Vec<Batch>,
         recycle: &'a [spsc::Receiver<Batch>],
         senders: &'a [spsc::Sender<ShardMsg>],
     ) -> Self {
-        let shards = senders.len();
-        let staging = (0..shards).map(|_| pool.pop().unwrap_or_default()).collect();
-        Self { staging, fills: vec![0; shards], batch_size, pool, recycle, senders, dead: false }
+        debug_assert_eq!(state.staging.len(), senders.len());
+        Self { state, batch_size, pool, recycle, senders }
     }
 
     /// The next writable slot on `shard`'s staging arena, growing the
     /// arena only while it is still ramping up toward `batch_size`.
     /// Write the packet in place, then [`Steering::commit`] it.
     pub fn slot(&mut self, shard: usize) -> &mut PreparedPacket {
-        let buf = &mut self.staging[shard];
-        let fill = self.fills[shard];
+        let buf = &mut self.state.staging[shard];
+        let fill = self.state.fills[shard];
         if fill == buf.len() {
             buf.push(PreparedPacket::default());
         }
@@ -120,8 +149,8 @@ impl<'a> Steering<'a> {
     /// arena when it reaches `batch_size`. Returns `false` once the
     /// shard's engine worker is gone.
     pub fn commit(&mut self, shard: usize) -> bool {
-        self.fills[shard] += 1;
-        if self.fills[shard] == self.batch_size {
+        self.state.fills[shard] += 1;
+        if self.state.fills[shard] == self.batch_size {
             self.flush(shard)
         } else {
             true
@@ -143,11 +172,11 @@ impl<'a> Steering<'a> {
     /// and sends it; the replacement comes from the recycle cycle.
     fn flush(&mut self, shard: usize) -> bool {
         let replacement = self.take_buf(shard);
-        let mut batch = std::mem::replace(&mut self.staging[shard], replacement);
-        batch.truncate(self.fills[shard]);
-        self.fills[shard] = 0;
+        let mut batch = std::mem::replace(&mut self.state.staging[shard], replacement);
+        batch.truncate(self.state.fills[shard]);
+        self.state.fills[shard] = 0;
         if self.senders[shard].send(ShardMsg::Batch(batch)).is_err() {
-            self.dead = true;
+            self.state.dead = true;
             return false;
         }
         true
@@ -155,29 +184,38 @@ impl<'a> Steering<'a> {
 
     /// Flushes every staged partial batch, then enqueues the update
     /// in-band on every channel: the FIFO order guarantees each worker
-    /// applies it at exactly this global packet boundary.
-    pub fn flush_and_update(&mut self, update: &Arc<ModelUpdate>) {
-        for shard in 0..self.senders.len() {
-            if self.fills[shard] > 0 {
-                self.flush(shard);
-            }
+    /// applies it at exactly this global packet boundary. Returns
+    /// `false` — without enqueuing the update anywhere further — as
+    /// soon as a flush or an update send hits a dead shard: a partial
+    /// install would leave the fleet inconsistent, so the caller must
+    /// stop feeding and surface the worker's fate instead.
+    pub fn flush_and_update(&mut self, update: &Arc<ModelUpdate>) -> bool {
+        if !self.flush_partials() {
+            return false;
         }
         for tx in self.senders {
-            let _ = tx.send(ShardMsg::Update(Arc::clone(update)));
-        }
-    }
-
-    /// Ends the run: sends every non-empty partial batch and returns
-    /// empty staging arenas to the cross-run pool.
-    pub fn finish(self) {
-        for (shard, (mut batch, fill)) in self.staging.into_iter().zip(self.fills).enumerate() {
-            if fill > 0 && !self.dead {
-                batch.truncate(fill);
-                let _ = self.senders[shard].send(ShardMsg::Batch(batch));
-            } else {
-                self.pool.push(batch);
+            if tx.send(ShardMsg::Update(Arc::clone(update))).is_err() {
+                self.state.dead = true;
+                return false;
             }
         }
+        true
+    }
+
+    /// Flushes every non-empty staged partial batch (a barrier point:
+    /// feed boundaries, update installs, drains), keeping the staging
+    /// arenas resident for the next packets. Returns `false` once a
+    /// shard is dead.
+    pub fn flush_partials(&mut self) -> bool {
+        if self.state.dead {
+            return false;
+        }
+        for shard in 0..self.senders.len() {
+            if self.state.fills[shard] > 0 && !self.flush(shard) {
+                return false;
+            }
+        }
+        true
     }
 }
 

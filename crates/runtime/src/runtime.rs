@@ -40,20 +40,16 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use taurus_core::ingest::{to_packet_into, ObsBuilder};
 use taurus_core::{
     DuplicateAppError, EngineBackend, ModelUpdate, SwitchBuilder, SwitchReport, TaurusApp,
-    TaurusSwitch, UpdateError,
+    UpdateError,
 };
 use taurus_dataset::trace::{PacketTrace, TracePacket};
 use taurus_ml::BinaryMetrics;
 use taurus_pisa::registers::PacketObs;
-use taurus_pisa::{CrossFlowWindows, Packet, PipelineConfig, Verdict};
+use taurus_pisa::{CrossFlowWindows, Packet, PipelineConfig};
 
-use crate::pipeline::epoch::EpochBatch;
-use crate::pipeline::steer::{Batch, ShardMsg, Steering};
-use crate::pipeline::{self, PipelineRun};
-use crate::spsc;
+use crate::service::StreamingRuntime;
 
 /// One packet as it crosses an ingest→worker channel: the wire packet,
 /// its register-stage observation, and the globally ordered cross-flow
@@ -318,8 +314,9 @@ impl<'a> RuntimeBuilder<'a> {
         self
     }
 
-    /// Builds the runtime: one [`TaurusSwitch`] per shard, each hosting
-    /// the full app roster.
+    /// Builds the one-shot runtime: one [`taurus_core::TaurusSwitch`]
+    /// per shard, each hosting the full app roster, behind the
+    /// run-at-a-time [`ShardedRuntime`] API.
     ///
     /// # Panics
     ///
@@ -328,6 +325,19 @@ impl<'a> RuntimeBuilder<'a> {
     /// [`RuntimeBuilder::try_build`] for the non-panicking form.
     pub fn build(self) -> ShardedRuntime {
         self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the persistent streaming service directly — resident
+    /// workers, `feed`/`drain`/`shutdown` lifecycle; see
+    /// [`StreamingRuntime`]. ([`RuntimeBuilder::build`] wraps the same
+    /// service in the run-at-a-time [`ShardedRuntime`] API.)
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`BuildError`]; see
+    /// [`RuntimeBuilder::try_build_streaming`].
+    pub fn build_streaming(self) -> StreamingRuntime {
+        self.try_build_streaming().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds the runtime, validating the whole configuration up front
@@ -346,6 +356,17 @@ impl<'a> RuntimeBuilder<'a> {
     ///   exceeds the per-shard register capacity — slot-based routing
     ///   could never reach the surplus shards.
     pub fn try_build(self) -> Result<ShardedRuntime, BuildError> {
+        Ok(ShardedRuntime { service: self.try_build_streaming()?, pending_updates: Vec::new() })
+    }
+
+    /// The non-panicking form of [`RuntimeBuilder::build_streaming`]:
+    /// validates, builds the replicas, and spawns the resident engine
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RuntimeBuilder::try_build`].
+    pub fn try_build_streaming(self) -> Result<StreamingRuntime, BuildError> {
         if self.apps.is_empty() {
             return Err(BuildError::EmptyRoster);
         }
@@ -385,19 +406,15 @@ impl<'a> RuntimeBuilder<'a> {
                     .build()
             })
             .collect();
-        Ok(ShardedRuntime {
+        Ok(StreamingRuntime::new(
             switches,
-            batch_size: self.batch_size,
-            queue_depth: self.queue_depth,
+            self.batch_size,
+            self.queue_depth,
             parse_workers,
-            epoch_len: self.epoch_len,
+            self.epoch_len,
             route_slots,
-            obs_builder: ObsBuilder::new(),
-            windows: CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
-            pending_updates: Vec::new(),
-            batch_pool: Vec::new(),
-            epoch_pool: Vec::new(),
-        })
+            CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
+        ))
     }
 }
 
@@ -465,57 +482,58 @@ impl RuntimeReport {
         }
         per_shard_pps * self.run_packets() as f64 / max as f64
     }
+
+    /// Flow-table idle evictions across all shards (cumulative, like
+    /// the replica reports). Always 0 unless
+    /// [`PipelineConfig::idle_timeout_ns`] is set.
+    pub fn evictions(&self) -> u64 {
+        self.merged.evictions
+    }
 }
 
-/// A sharded, batched multi-core host for [`TaurusSwitch`] replicas.
+/// A sharded, batched multi-core host for [`taurus_core::TaurusSwitch`]
+/// replicas, exposed run-at-a-time.
 ///
-/// Flow state is long-lived: like a [`TaurusSwitch`], successive runs
-/// accumulate registers, flow-start bookkeeping, and counters; call
-/// [`ShardedRuntime::reset`] between independent experiments.
+/// Since the streaming refactor this is a thin wrapper over the
+/// resident [`StreamingRuntime`]: `run_packets` = rebase the scheduled
+/// updates onto the global stream, `feed`, `drain`. The engine workers
+/// are spawned once at build and stay resident across runs — successive
+/// runs spawn no engine threads and (past the first) allocate no batch
+/// memory.
+///
+/// Flow state is long-lived: like a [`taurus_core::TaurusSwitch`],
+/// successive runs accumulate registers, flow-start bookkeeping, and
+/// counters; call [`ShardedRuntime::reset`] between independent
+/// experiments.
 pub struct ShardedRuntime {
-    switches: Vec<TaurusSwitch>,
-    batch_size: usize,
-    queue_depth: usize,
-    /// Parse workers per run (`0` = inline ingest), resolved at build.
-    parse_workers: usize,
-    /// Packets per pipeline epoch.
-    epoch_len: usize,
-    /// Register-slot count routing folds through ([`shard_of`]).
-    route_slots: usize,
-    obs_builder: ObsBuilder,
-    windows: CrossFlowWindows,
-    /// Updates scheduled for the next run, sorted by install index
+    service: StreamingRuntime,
+    /// Updates scheduled for the next run, with **run-relative** packet
+    /// indices; `run_packets` rebases them onto the global stream
+    /// position at the moment the run starts. Sorted by install index
     /// (stable for equal indices: scheduling order is install order).
     pending_updates: Vec<(u64, Arc<ModelUpdate>)>,
-    /// Drained batch buffers surviving across runs: the recycle lanes
-    /// are emptied into this pool when a run finishes, so a long-lived
-    /// runtime's second and later runs allocate no batch memory.
-    batch_pool: Vec<Batch>,
-    /// Epoch arenas surviving across runs (pipelined ingest only), the
-    /// epoch-lane analogue of `batch_pool`.
-    epoch_pool: Vec<EpochBatch>,
 }
 
 impl ShardedRuntime {
     /// Number of shards (switch replicas / worker threads).
     pub fn shard_count(&self) -> usize {
-        self.switches.len()
+        self.service.shard_count()
     }
 
     /// Packets per ingest batch.
     pub fn batch_size(&self) -> usize {
-        self.batch_size
+        self.service.batch_size()
     }
 
     /// Parse workers per run (`0` = inline single-thread ingest); see
     /// [`RuntimeBuilder::parse_workers`].
     pub fn parse_worker_count(&self) -> usize {
-        self.parse_workers
+        self.service.parse_worker_count()
     }
 
     /// Packets per pipeline epoch; see [`RuntimeBuilder::epoch_len`].
     pub fn epoch_len(&self) -> usize {
-        self.epoch_len
+        self.service.epoch_len()
     }
 
     /// Installs a model update on every shard *now* (between runs).
@@ -525,12 +543,9 @@ impl ShardedRuntime {
     ///
     /// # Errors
     ///
-    /// See [`TaurusSwitch::install_update`].
+    /// See [`taurus_core::TaurusSwitch::install_update`].
     pub fn install_update(&mut self, update: &ModelUpdate) -> Result<(), UpdateError> {
-        for switch in &mut self.switches {
-            switch.install_update(update)?;
-        }
-        Ok(())
+        self.service.install_update(update)
     }
 
     /// Schedules a live update for the next run: it is applied on
@@ -559,9 +574,9 @@ impl ShardedRuntime {
 
     /// Installed model versions per app (registration order). All
     /// shards agree by construction — updates apply to every shard at
-    /// the same boundary — so this reads the first replica.
+    /// the same boundary.
     pub fn app_versions(&self) -> Vec<(String, u64)> {
-        self.switches.first().map(TaurusSwitch::app_versions).unwrap_or_default()
+        self.service.app_versions()
     }
 
     /// Runs a whole trace through the runtime; see
@@ -591,179 +606,14 @@ impl ShardedRuntime {
     /// replicas may already run the new model, and a half-updated fleet
     /// must not keep serving.
     pub fn run_packets(&mut self, packets: &[TracePacket]) -> RuntimeReport {
-        let shards = self.switches.len();
-        let batch_size = self.batch_size;
-        let queue_depth = self.queue_depth;
-        let parse_workers = self.parse_workers;
-        let epoch_len = self.epoch_len;
-        let route_slots = self.route_slots;
-        let updates = std::mem::take(&mut self.pending_updates);
-        // Split borrows: workers own the switches, ingest owns the rest.
-        let Self { switches, obs_builder, windows, batch_pool, epoch_pool, .. } = self;
-        // Provision the recycle pool up front: a shard's buffer cycle
-        // peaks at `queue_depth + 3` buffers (staging + in-flight +
-        // worker + freshly taken), so this many can ever be live. With
-        // the pool pre-filled, `take_buf` below never allocates — the
-        // whole ingest loop is allocation-free from the first packet of
-        // the second run (the first run still grows each arena's slots
-        // to `batch_size` in place).
-        let provision = shards * (queue_depth + 3);
-        while batch_pool.len() < provision {
-            batch_pool.push(Vec::with_capacity(batch_size));
+        // Rebase the run-relative schedule onto the global stream: index
+        // k of this run is stream index position + k.
+        let base = self.service.stream_position();
+        for (at, update) in std::mem::take(&mut self.pending_updates) {
+            self.service.schedule_update_shared(base.saturating_add(at), update);
         }
-        let mut worker_stats = vec![(0u64, 0u64, Vec::new()); shards];
-        std::thread::scope(|scope| {
-            let mut senders = Vec::with_capacity(shards);
-            let mut recycle = Vec::with_capacity(shards);
-            let mut handles = Vec::with_capacity(shards);
-            for switch in switches.iter_mut() {
-                let (tx, rx) = spsc::channel::<ShardMsg>(queue_depth);
-                // Reverse lane carrying drained buffers back to ingest.
-                // A shard's cycle holds at most `queue_depth + 3`
-                // buffers at once (1 staging + queue_depth in flight +
-                // 1 at the worker + 1 freshly taken), so with one extra
-                // slot of slack the worker's return send can never
-                // block — no deadlock against a blocked forward send.
-                let (pool_tx, pool_rx) = spsc::channel::<Batch>(queue_depth + 4);
-                senders.push(tx);
-                recycle.push(pool_rx);
-                handles.push(scope.spawn(move || {
-                    let mut processed = 0u64;
-                    let mut batches = 0u64;
-                    let mut segments = vec![BinaryMetrics::default()];
-                    while let Ok(msg) = rx.recv() {
-                        match msg {
-                            ShardMsg::Batch(batch) => {
-                                batches += 1;
-                                for p in &batch {
-                                    // Verdict-only entry point: same
-                                    // counters and combined verdict as
-                                    // process_prepared, minus the
-                                    // per-packet per_app allocation.
-                                    let r = switch.process_prepared_verdict(
-                                        &p.pkt,
-                                        p.obs,
-                                        p.dst_count,
-                                        p.srv_count,
-                                    );
-                                    segments
-                                        .last_mut()
-                                        .expect("nonempty")
-                                        .record(r.verdict == Verdict::Drop, p.anomalous);
-                                    processed += 1;
-                                }
-                                // Hand the drained buffer back for
-                                // reuse (ingest may already be gone on
-                                // error paths; dropping is fine then).
-                                let _ = pool_tx.send(batch);
-                            }
-                            ShardMsg::Update(update) => {
-                                switch.install_update(&update).unwrap_or_else(|e| {
-                                    panic!("live model update failed on a shard: {e}")
-                                });
-                                segments.push(BinaryMetrics::default());
-                            }
-                        }
-                    }
-                    (processed, batches, segments)
-                }));
-            }
-
-            if parse_workers == 0 {
-                // Inline ingest: everything order-sensitive on the
-                // calling thread, steered through the shared staging
-                // machinery (`pipeline::steer::Steering`).
-                let mut steer = Steering::new(batch_size, batch_pool, &recycle, &senders);
-                let mut next_update = 0usize;
-                'ingest: for (index, tp) in packets.iter().enumerate() {
-                    while next_update < updates.len() && updates[next_update].0 == index as u64 {
-                        steer.flush_and_update(&updates[next_update].1);
-                        next_update += 1;
-                    }
-                    let obs = obs_builder.observe(tp);
-                    let (dst_count, srv_count) = windows.observe(&obs);
-                    let shard = shard_of(obs.flow_key, route_slots, shards);
-                    // Rewrite a recycled slot in place.
-                    let slot = steer.slot(shard);
-                    to_packet_into(tp, &mut slot.pkt);
-                    slot.obs = obs;
-                    slot.dst_count = dst_count;
-                    slot.srv_count = srv_count;
-                    slot.anomalous = tp.anomalous;
-                    if !steer.commit(shard) {
-                        // The worker died; stop feeding and surface its
-                        // panic at join below.
-                        break 'ingest;
-                    }
-                }
-                // Updates scheduled at or past the stream's end still
-                // land (after the last packet), so versions advance as
-                // promised.
-                for (_, update) in &updates[next_update..] {
-                    steer.flush_and_update(update);
-                }
-                steer.finish();
-            } else {
-                // Pipelined ingest: N parse workers slice the trace into
-                // epochs; the merge stage (this thread) reassembles them
-                // in index order, resolves the order-bound state, and
-                // steers — bit-identical to the inline path.
-                pipeline::run(
-                    scope,
-                    PipelineRun {
-                        packets,
-                        workers: parse_workers,
-                        epoch_len,
-                        route_slots,
-                        shards,
-                        batch_size,
-                        updates: &updates,
-                        seen: obs_builder,
-                        windows,
-                        batch_pool,
-                        epoch_pool,
-                        recycle: &recycle,
-                        senders: &senders,
-                    },
-                );
-            }
-            drop(senders); // close the channels: workers drain and exit
-            for (i, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(stats) => worker_stats[i] = stats,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-            // Reclaim every buffer still parked in a recycle lane so
-            // the next run starts fully provisioned.
-            for lane in &recycle {
-                while let Ok(buf) = lane.try_recv() {
-                    batch_pool.push(buf);
-                }
-            }
-        });
-
-        let mut segments: Vec<BinaryMetrics> = Vec::new();
-        let shards: Vec<ShardStats> = self
-            .switches
-            .iter()
-            .zip(worker_stats)
-            .enumerate()
-            .map(|(shard, (switch, (packets, batches, worker_segments)))| {
-                if segments.is_empty() {
-                    segments = worker_segments;
-                } else {
-                    debug_assert_eq!(segments.len(), worker_segments.len());
-                    for (acc, seg) in segments.iter_mut().zip(&worker_segments) {
-                        acc.absorb(seg);
-                    }
-                }
-                ShardStats { shard, packets, batches, report: switch.report() }
-            })
-            .collect();
-        let merged = SwitchReport::merged(shards.iter().map(|s| &s.report))
-            .expect("replicas share one roster by construction");
-        RuntimeReport { merged, shards, segments }
+        self.service.feed(packets);
+        self.service.drain()
     }
 
     /// Clears every replica's flow state and counters plus the shared
@@ -771,22 +621,15 @@ impl ShardedRuntime {
     /// reset separates experiment phases, it does not roll back
     /// deployments. Updates scheduled for the next run also survive.
     pub fn reset(&mut self) {
-        for switch in &mut self.switches {
-            switch.reset();
-        }
-        self.obs_builder.reset();
-        self.windows.clear();
+        self.service.reset();
     }
 }
 
 impl core::fmt::Debug for ShardedRuntime {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ShardedRuntime")
-            .field("shards", &self.switches.len())
-            .field("batch_size", &self.batch_size)
-            .field("queue_depth", &self.queue_depth)
-            .field("parse_workers", &self.parse_workers)
-            .field("epoch_len", &self.epoch_len)
+            .field("service", &self.service)
+            .field("pending_updates", &self.pending_updates.len())
             .finish()
     }
 }

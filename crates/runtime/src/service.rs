@@ -1,0 +1,662 @@
+//! The long-lived streaming service: resident engine workers behind a
+//! push-style ingest API.
+//!
+//! [`crate::runtime::ShardedRuntime::run_packets`] models one replayed
+//! trace; the paper's device serves traffic *indefinitely*. This module
+//! promotes the same sharded machinery to a persistent service:
+//!
+//! - **Resident engine workers.** One OS thread per shard is spawned at
+//!   construction, *owns* its [`TaurusSwitch`] replica, and stays alive
+//!   across feeds — the per-run thread spawn/join (and its allocations)
+//!   disappears from the steady state.
+//! - **Push-style ingest.** [`StreamingRuntime::feed`] pushes a slice
+//!   of the stream through the existing ingest machinery — inline or
+//!   the parallel epoch pipeline — with the same bounded-SPSC
+//!   backpressure and the same `Steering` flush discipline. Partial
+//!   batches are flushed at every feed boundary, so the engines observe
+//!   each feed completely. (Parse workers for the pipelined mode are
+//!   still scoped to the feed: they borrow the fed slice, which a
+//!   resident thread could not.)
+//! - **Asynchronous updates.** [`StreamingRuntime::schedule_update`]
+//!   keys on the *global stream index* (monotone across feeds) and is
+//!   applied in-band at exactly that barrier;
+//!   [`StreamingRuntime::install_update`] installs "now" via a
+//!   request/reply message and keeps the fleet transactional.
+//! - **Deterministic drain.** [`StreamingRuntime::drain`] installs any
+//!   still-pending updates, flushes every staged partial batch, and
+//!   barriers on every worker for a snapshot: the merged
+//!   [`RuntimeReport`] is bit-identical to a one-shot
+//!   [`crate::runtime::ShardedRuntime::run_packets`] over the
+//!   concatenation of all feeds since the last drain (batch counts
+//!   aside — feed boundaries flush partial batches early).
+//!   [`StreamingRuntime::shutdown`] is drain + worker join.
+//!
+//! # Panic containment
+//!
+//! A panic inside a worker (an app engine exploding, a scheduled update
+//! failing to install) must not kill a resident thread, but it must
+//! also not be swallowed. Workers catch panics, keep draining their
+//! lanes (discarding batches — the run is poisoned anyway) so ingest
+//! never deadlocks, and surface the payload at the next drain, which
+//! re-raises it on the caller's thread — the same observable behavior
+//! as the old per-run scope join. [`StreamingRuntime::reset`] clears
+//! the poisoned state and the service keeps serving.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use taurus_core::ingest::{to_packet_into, ObsBuilder};
+use taurus_core::{ModelUpdate, SwitchReport, TaurusSwitch, UpdateError};
+use taurus_dataset::trace::{PacketTrace, TracePacket};
+use taurus_ml::BinaryMetrics;
+use taurus_pisa::{CrossFlowWindows, Verdict};
+
+use crate::pipeline::epoch::EpochBatch;
+use crate::pipeline::steer::{Batch, ShardMsg, SteerState, Steering};
+use crate::pipeline::{self, PipelineRun};
+use crate::runtime::{shard_of, RuntimeReport, ShardStats};
+use crate::spsc;
+
+/// One worker's per-run state at a drain barrier.
+pub(crate) struct WorkerSnapshot {
+    /// Packets processed since the last drain.
+    processed: u64,
+    /// Batches received since the last drain.
+    batches: u64,
+    /// Per-model-segment deployed-verdict confusion since the last
+    /// drain (see [`RuntimeReport::segments`]).
+    segments: Vec<BinaryMetrics>,
+    /// The replica's cumulative report.
+    report: SwitchReport,
+    /// The replica's installed model versions (registration order).
+    versions: Vec<(String, u64)>,
+}
+
+/// A worker's answer on its reply lane.
+pub(crate) enum WorkerReply {
+    /// Drain barrier reached; per-run counters were reset.
+    Snapshot(Box<WorkerSnapshot>),
+    /// Result of a control-plane [`ShardMsg::Install`].
+    Install(Result<(), UpdateError>),
+    /// The worker caught this panic earlier in the run; the drain
+    /// barrier re-raises it on the caller's thread.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// The resident engine-worker loop: owns one [`TaurusSwitch`] replica
+/// for the lifetime of the service and serves its steer lane until the
+/// sender side is dropped (shutdown).
+fn engine_worker(
+    mut switch: TaurusSwitch,
+    rx: spsc::Receiver<ShardMsg>,
+    pool_tx: spsc::Sender<Batch>,
+    reply_tx: spsc::Sender<WorkerReply>,
+) {
+    let mut processed = 0u64;
+    let mut batches = 0u64;
+    let mut segments = vec![BinaryMetrics::default()];
+    // First panic caught this run; while set, batches are drained but
+    // discarded (the run is poisoned — its report will never be built)
+    // so ingest keeps its backpressure guarantees and never deadlocks
+    // on a full lane.
+    let mut poisoned: Option<Box<dyn Any + Send>> = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch(batch) => {
+                if poisoned.is_none() {
+                    batches += 1;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        for p in &batch {
+                            // Verdict-only entry point: same counters
+                            // and combined verdict as process_prepared,
+                            // minus the per-packet per_app allocation.
+                            let r = switch.process_prepared_verdict(
+                                &p.pkt,
+                                p.obs,
+                                p.dst_count,
+                                p.srv_count,
+                            );
+                            segments
+                                .last_mut()
+                                .expect("nonempty")
+                                .record(r.verdict == Verdict::Drop, p.anomalous);
+                            processed += 1;
+                        }
+                    }));
+                    if let Err(payload) = outcome {
+                        poisoned = Some(payload);
+                    }
+                }
+                // Hand the drained buffer back for reuse (ingest may
+                // already be gone on teardown paths; dropping is fine).
+                let _ = pool_tx.send(batch);
+            }
+            ShardMsg::Update(update) => {
+                if poisoned.is_none() {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        switch
+                            .install_update(&update)
+                            .unwrap_or_else(|e| panic!("live model update failed on a shard: {e}"));
+                    }));
+                    match outcome {
+                        Ok(()) => segments.push(BinaryMetrics::default()),
+                        Err(payload) => poisoned = Some(payload),
+                    }
+                }
+            }
+            ShardMsg::Install(update) => {
+                let _ = reply_tx.send(WorkerReply::Install(switch.install_update(&update)));
+            }
+            ShardMsg::Drain => {
+                let reply = match poisoned.take() {
+                    Some(payload) => WorkerReply::Panicked(payload),
+                    None => WorkerReply::Snapshot(Box::new(WorkerSnapshot {
+                        processed,
+                        batches,
+                        segments: std::mem::take(&mut segments),
+                        report: switch.report(),
+                        versions: switch.app_versions(),
+                    })),
+                };
+                processed = 0;
+                batches = 0;
+                segments.clear();
+                segments.push(BinaryMetrics::default());
+                let _ = reply_tx.send(reply);
+            }
+            ShardMsg::Reset => {
+                switch.reset();
+                poisoned = None;
+                processed = 0;
+                batches = 0;
+                segments.clear();
+                segments.push(BinaryMetrics::default());
+            }
+        }
+    }
+}
+
+/// A persistent streaming host for [`TaurusSwitch`] replicas: resident
+/// engine workers, push-style feeds, asynchronous model updates, and a
+/// deterministic drain/shutdown.
+///
+/// Built by [`crate::runtime::RuntimeBuilder::build_streaming`]. The
+/// one-shot [`crate::runtime::ShardedRuntime`] is now a thin wrapper
+/// over this type (`run_packets` = `feed` + `drain`), so both share one
+/// execution path and one set of exactness guarantees.
+///
+/// ```
+/// use taurus_core::apps::SynFloodDetector;
+/// use taurus_core::EngineBackend;
+/// use taurus_dataset::kdd::KddGenerator;
+/// use taurus_dataset::trace::{PacketTrace, TraceConfig};
+/// use taurus_runtime::RuntimeBuilder;
+///
+/// let syn = SynFloodDetector::default_deployment();
+/// let mut service = RuntimeBuilder::new()
+///     .shards(2)
+///     .register_on(&syn, EngineBackend::Threshold)
+///     .build_streaming();
+///
+/// let records = KddGenerator::new(7).take(60);
+/// let trace = PacketTrace::expand(records, &TraceConfig::default());
+/// service.feed(&trace.packets);
+/// service.feed(&trace.packets); // workers stay resident between feeds
+/// let report = service.shutdown();
+/// assert_eq!(report.merged.packets, 2 * trace.packets.len() as u64);
+/// ```
+pub struct StreamingRuntime {
+    senders: Vec<spsc::Sender<ShardMsg>>,
+    recycle: Vec<spsc::Receiver<Batch>>,
+    replies: Vec<spsc::Receiver<WorkerReply>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shards: usize,
+    batch_size: usize,
+    parse_workers: usize,
+    epoch_len: usize,
+    route_slots: usize,
+    obs_builder: ObsBuilder,
+    windows: CrossFlowWindows,
+    /// Resident per-shard staging arenas (see `pipeline::steer`).
+    steer: SteerState,
+    /// Cross-feed pool of steer→engine batch arenas, provisioned once
+    /// at construction so steady-state feeds allocate no batch memory.
+    batch_pool: Vec<Batch>,
+    /// Cross-feed pool of epoch arenas (pipelined ingest only).
+    epoch_pool: Vec<EpochBatch>,
+    /// Updates awaiting their global stream index, sorted by it (stable
+    /// for equal indices: scheduling order is install order).
+    pending: Vec<(u64, Arc<ModelUpdate>)>,
+    /// Global stream position: packets accepted across all feeds.
+    position: u64,
+    /// Mirror of the fleet's installed versions (all replicas agree by
+    /// construction), refreshed from shard 0's snapshot at every drain.
+    versions: Vec<(String, u64)>,
+}
+
+impl StreamingRuntime {
+    /// Spawns the resident workers, each owning one replica. Called by
+    /// the builder after validation.
+    pub(crate) fn new(
+        switches: Vec<TaurusSwitch>,
+        batch_size: usize,
+        queue_depth: usize,
+        parse_workers: usize,
+        epoch_len: usize,
+        route_slots: usize,
+        windows: CrossFlowWindows,
+    ) -> Self {
+        let shards = switches.len();
+        // Provision the recycle pool up front: a shard's buffer cycle
+        // peaks at `queue_depth + 3` buffers (staging + in-flight +
+        // worker + freshly taken), so this many can ever be live. With
+        // the pool pre-filled, `take_buf` never allocates — every feed
+        // past the first is allocation-free (the first still grows each
+        // arena's slots to `batch_size` in place).
+        let mut batch_pool: Vec<Batch> = Vec::new();
+        let provision = shards * (queue_depth + 3);
+        while batch_pool.len() < provision {
+            batch_pool.push(Vec::with_capacity(batch_size));
+        }
+        let versions = switches.first().map(TaurusSwitch::app_versions).unwrap_or_default();
+        let steer = SteerState::new(shards, &mut batch_pool);
+        let mut senders = Vec::with_capacity(shards);
+        let mut recycle = Vec::with_capacity(shards);
+        let mut replies = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for switch in switches {
+            let (tx, rx) = spsc::channel::<ShardMsg>(queue_depth);
+            // Reverse lane carrying drained buffers back to ingest. A
+            // shard's cycle holds at most `queue_depth + 3` buffers at
+            // once (1 staging + queue_depth in flight + 1 at the worker
+            // + 1 freshly taken), so with one extra slot of slack the
+            // worker's return send can never block — no deadlock
+            // against a blocked forward send.
+            let (pool_tx, pool_rx) = spsc::channel::<Batch>(queue_depth + 4);
+            // Reply lane for the synchronous control-plane exchanges
+            // (drain snapshots, install results): at most one request
+            // is ever outstanding per shard.
+            let (reply_tx, reply_rx) = spsc::channel::<WorkerReply>(2);
+            senders.push(tx);
+            recycle.push(pool_rx);
+            replies.push(reply_rx);
+            workers.push(std::thread::spawn(move || {
+                engine_worker(switch, rx, pool_tx, reply_tx);
+            }));
+        }
+        Self {
+            senders,
+            recycle,
+            replies,
+            workers,
+            shards,
+            batch_size,
+            parse_workers,
+            epoch_len,
+            route_slots,
+            obs_builder: ObsBuilder::new(),
+            windows,
+            steer,
+            batch_pool,
+            epoch_pool: Vec::new(),
+            pending: Vec::new(),
+            position: 0,
+            versions,
+        }
+    }
+
+    /// Number of shards (resident switch replicas / worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Packets per ingest batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Parse workers per feed (`0` = inline single-thread ingest).
+    pub fn parse_worker_count(&self) -> usize {
+        self.parse_workers
+    }
+
+    /// Packets per pipeline epoch (pipelined ingest only).
+    pub fn epoch_len(&self) -> usize {
+        self.epoch_len
+    }
+
+    /// Global stream position: packets accepted across all feeds since
+    /// construction (monotone — [`StreamingRuntime::reset`] clears flow
+    /// state, not the stream clock).
+    pub fn stream_position(&self) -> u64 {
+        self.position
+    }
+
+    /// Pushes a slice of the stream through the resident service:
+    /// observations, the shared cross-flow windows, flow-consistent
+    /// routing, and batching run on the calling thread (or, with
+    /// `parse_workers > 0`, on the scoped epoch pipeline), while the
+    /// resident engine workers consume over the bounded SPSC lanes —
+    /// the lanes' backpressure is the feed's backpressure. Partial
+    /// batches are flushed before returning, so the engines observe
+    /// the whole feed without waiting for the next one.
+    ///
+    /// Packets must be in arrival order; timestamps should be monotone
+    /// across feeds (the stream is one logical trace). Returns the
+    /// number of scheduled updates consumed by this feed.
+    pub fn feed(&mut self, packets: &[TracePacket]) -> usize {
+        let shards = self.shards;
+        let batch_size = self.batch_size;
+        let parse_workers = self.parse_workers;
+        let epoch_len = self.epoch_len;
+        let route_slots = self.route_slots;
+        // Take the pending list so ingest can borrow it immutably next
+        // to the mutable split borrows below; moved back (minus the
+        // consumed prefix) afterwards — no allocation either way.
+        let mut updates = std::mem::take(&mut self.pending);
+        let consumed;
+        {
+            // Split borrows: ingest owns the order-bound state and the
+            // lane ends; `self.versions`/`self.pending` stay free.
+            let Self {
+                senders,
+                recycle,
+                steer,
+                batch_pool,
+                epoch_pool,
+                obs_builder,
+                windows,
+                position,
+                ..
+            } = self;
+            if parse_workers == 0 {
+                // Inline ingest: everything order-sensitive on the
+                // calling thread, steered through the shared staging
+                // machinery (`pipeline::steer::Steering`).
+                let mut steer = Steering::new(steer, batch_size, batch_pool, recycle, senders);
+                let mut next_update = 0usize;
+                'ingest: for tp in packets.iter() {
+                    let index = *position;
+                    // `<=`: an update whose index an earlier feed
+                    // already passed installs before this packet
+                    // rather than never.
+                    while next_update < updates.len() && updates[next_update].0 <= index {
+                        if !steer.flush_and_update(&updates[next_update].1) {
+                            break 'ingest;
+                        }
+                        next_update += 1;
+                    }
+                    let obs = obs_builder.observe(tp);
+                    let (dst_count, srv_count) = windows.observe(&obs);
+                    let shard = shard_of(obs.flow_key, route_slots, shards);
+                    // Rewrite a recycled slot in place.
+                    let slot = steer.slot(shard);
+                    to_packet_into(tp, &mut slot.pkt);
+                    slot.obs = obs;
+                    slot.dst_count = dst_count;
+                    slot.srv_count = srv_count;
+                    slot.anomalous = tp.anomalous;
+                    *position += 1;
+                    if !steer.commit(shard) {
+                        break 'ingest;
+                    }
+                }
+                steer.flush_partials();
+                consumed = next_update;
+            } else {
+                // Pipelined ingest: N scoped parse workers slice the
+                // feed into epochs; the merge stage (this thread)
+                // reassembles them in index order and steers onto the
+                // resident engine lanes — bit-identical to inline.
+                let stream_base = *position;
+                consumed = std::thread::scope(|scope| {
+                    pipeline::run(
+                        scope,
+                        PipelineRun {
+                            packets,
+                            stream_base,
+                            workers: parse_workers,
+                            epoch_len,
+                            route_slots,
+                            shards,
+                            batch_size,
+                            updates: &updates,
+                            seen: obs_builder,
+                            windows,
+                            steer,
+                            batch_pool,
+                            epoch_pool,
+                            recycle,
+                            senders,
+                        },
+                    )
+                });
+                *position += packets.len() as u64;
+            }
+        }
+        for (_, update) in updates.drain(..consumed) {
+            self.note_installed(&update);
+        }
+        self.pending = updates;
+        consumed
+    }
+
+    /// Drains the service deterministically: installs every update
+    /// still pending (they were scheduled for this stream, and the
+    /// stream is ending — matching `run_packets`' end-of-run
+    /// semantics), flushes every staged partial batch, then barriers on
+    /// all workers for their snapshots and assembles the merged report.
+    /// Per-run statistics ([`ShardStats::packets`]/`batches`, the
+    /// segment confusions) restart after a drain; replica reports and
+    /// flow state persist.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic a worker caught since the last drain
+    /// (an app engine panicking, a scheduled update failing to install)
+    /// — after the barrier completed on every shard, so the service is
+    /// quiesced and can be [`StreamingRuntime::reset`] and reused.
+    pub fn drain(&mut self) -> RuntimeReport {
+        // Leftover updates land after the last fed packet, exactly like
+        // the old end-of-run handling.
+        let updates = std::mem::take(&mut self.pending);
+        let batch_size = self.batch_size;
+        let mut installed = 0usize;
+        {
+            let Self { senders, recycle, steer, batch_pool, .. } = self;
+            let mut steer = Steering::new(steer, batch_size, batch_pool, recycle, senders);
+            for (_, update) in &updates {
+                if !steer.flush_and_update(update) {
+                    break;
+                }
+                installed += 1;
+            }
+            steer.flush_partials();
+        }
+        for (_, update) in updates.iter().take(installed) {
+            self.note_installed(update);
+        }
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Drain);
+        }
+        // Collect every reply before acting on any: the full barrier
+        // guarantees all shards are quiesced even if one panicked.
+        let replies: Vec<Option<WorkerReply>> =
+            self.replies.iter().map(|rx| rx.recv().ok()).collect();
+        // Reclaim buffers parked in the recycle lanes so the next feed
+        // starts fully provisioned.
+        for lane in &self.recycle {
+            while let Ok(buf) = lane.try_recv() {
+                self.batch_pool.push(buf);
+            }
+        }
+        let mut snapshots: Vec<WorkerSnapshot> = Vec::with_capacity(self.shards);
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        for (shard, reply) in replies.into_iter().enumerate() {
+            match reply {
+                Some(WorkerReply::Snapshot(snapshot)) => snapshots.push(*snapshot),
+                Some(WorkerReply::Panicked(payload)) => {
+                    panic_payload.get_or_insert(payload);
+                }
+                Some(WorkerReply::Install(_)) => {
+                    unreachable!("install replies are consumed synchronously")
+                }
+                None => panic!("engine worker {shard} died outside the panic protocol"),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        let mut segments: Vec<BinaryMetrics> = Vec::new();
+        let shards: Vec<ShardStats> = snapshots
+            .into_iter()
+            .enumerate()
+            .map(|(shard, snapshot)| {
+                if shard == 0 {
+                    self.versions = snapshot.versions;
+                    segments = snapshot.segments;
+                } else {
+                    debug_assert_eq!(segments.len(), snapshot.segments.len());
+                    for (acc, seg) in segments.iter_mut().zip(&snapshot.segments) {
+                        acc.absorb(seg);
+                    }
+                }
+                ShardStats {
+                    shard,
+                    packets: snapshot.processed,
+                    batches: snapshot.batches,
+                    report: snapshot.report,
+                }
+            })
+            .collect();
+        let merged = SwitchReport::merged(shards.iter().map(|s| &s.report))
+            .expect("replicas share one roster by construction");
+        RuntimeReport { merged, shards, segments }
+    }
+
+    /// Drains, then tears the service down: closes every lane, joins
+    /// every resident worker, and returns the final report.
+    pub fn shutdown(mut self) -> RuntimeReport {
+        let report = self.drain();
+        self.senders.clear(); // closing the lanes ends the worker loops
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        report
+    }
+
+    /// Feeds a whole trace and drains — the streaming spelling of
+    /// [`crate::runtime::ShardedRuntime::run_trace`].
+    pub fn run_trace(&mut self, trace: &PacketTrace) -> RuntimeReport {
+        self.feed(&trace.packets);
+        self.drain()
+    }
+
+    /// Installs a model update on every shard *now* (at the current
+    /// stream barrier: after everything already fed, before anything
+    /// fed next). Validation runs on shard 0 first — replicas are
+    /// identical by construction, so its verdict decides for the fleet
+    /// before any other replica is touched.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaurusSwitch::install_update`].
+    pub fn install_update(&mut self, update: &ModelUpdate) -> Result<(), UpdateError> {
+        let shared = Arc::new(update.clone());
+        for shard in 0..self.shards {
+            self.install_on(shard, &shared)?;
+        }
+        self.note_installed(&shared);
+        Ok(())
+    }
+
+    fn install_on(&self, shard: usize, update: &Arc<ModelUpdate>) -> Result<(), UpdateError> {
+        if self.senders[shard].send(ShardMsg::Install(Arc::clone(update))).is_err() {
+            panic!("engine worker {shard} died outside the panic protocol");
+        }
+        match self.replies[shard].recv() {
+            Ok(WorkerReply::Install(result)) => result,
+            _ => panic!("engine worker {shard} died outside the panic protocol"),
+        }
+    }
+
+    /// Schedules a live update for **global stream index**
+    /// `at_stream_index`: it is applied on every shard at that barrier
+    /// — packets with a smaller stream index are decided by the old
+    /// model, later ones by the new — whichever future feed contains
+    /// the index. Indices at or before the current position install at
+    /// the next feed's first packet; indices past the stream's end
+    /// install at the drain.
+    ///
+    /// Invalid updates (unknown app, stale version, wrong backend)
+    /// surface as a re-raised panic at the next drain — scheduling
+    /// cannot check them against the future stream.
+    pub fn schedule_update(&mut self, at_stream_index: u64, update: ModelUpdate) {
+        self.schedule_update_shared(at_stream_index, Arc::new(update));
+    }
+
+    pub(crate) fn schedule_update_shared(&mut self, at: u64, update: Arc<ModelUpdate>) {
+        self.pending.push((at, update));
+        self.pending.sort_by_key(|&(at, _)| at);
+    }
+
+    /// Updates still awaiting their stream index (index, app, version).
+    pub fn scheduled_updates(&self) -> Vec<(u64, String, u64)> {
+        self.pending.iter().map(|(at, u)| (*at, u.app.clone(), u.version)).collect()
+    }
+
+    /// Installed model versions per app (registration order). All
+    /// shards agree by construction; this reads the service's mirror,
+    /// which every install advances and every drain re-syncs from
+    /// shard 0.
+    pub fn app_versions(&self) -> Vec<(String, u64)> {
+        self.versions.clone()
+    }
+
+    fn note_installed(&mut self, update: &ModelUpdate) {
+        if let Some(entry) = self.versions.iter_mut().find(|(name, _)| *name == update.app) {
+            entry.1 = update.version;
+        }
+    }
+
+    /// Clears every replica's flow state and counters (including any
+    /// caught panic) plus the shared ingest state. Installed models and
+    /// their versions survive, as do scheduled updates and the stream
+    /// position — reset separates experiment phases, it does not roll
+    /// back deployments or rewind the stream clock. The reset message
+    /// travels in-band, so it takes effect after everything already fed
+    /// and before anything fed next.
+    pub fn reset(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Reset);
+        }
+        self.obs_builder.reset();
+        self.windows.clear();
+    }
+}
+
+impl Drop for StreamingRuntime {
+    /// Tears down without a report: closes the lanes and joins the
+    /// workers (no-op after [`StreamingRuntime::shutdown`]). A caught
+    /// worker panic dies with the service — dropping instead of
+    /// draining is the "I don't care about the outcome" path.
+    fn drop(&mut self) {
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl core::fmt::Debug for StreamingRuntime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StreamingRuntime")
+            .field("shards", &self.shards)
+            .field("batch_size", &self.batch_size)
+            .field("parse_workers", &self.parse_workers)
+            .field("epoch_len", &self.epoch_len)
+            .field("stream_position", &self.position)
+            .finish()
+    }
+}

@@ -12,7 +12,8 @@
 use taurus_core::apps::{AnomalyDetector, SynFloodDetector};
 use taurus_core::{EngineBackend, SwitchBuilder, SwitchReport, TaurusSwitch};
 use taurus_dataset::kdd::KddGenerator;
-use taurus_dataset::trace::{PacketTrace, TraceConfig};
+use taurus_dataset::trace::{PacketTrace, TraceConfig, TracePacket};
+use taurus_pisa::PipelineConfig;
 use taurus_runtime::RuntimeBuilder;
 
 /// The default KDD trace (default `TraceConfig`, KDD generator records).
@@ -171,6 +172,56 @@ fn pipelined_cgra_roster_matches_sequential() {
             report.merged, golden,
             "pipelined CGRA run diverged at shards={shards} workers={parse_workers}"
         );
+    }
+}
+
+#[test]
+fn idle_gap_traces_stay_exact_across_ingest_modes() {
+    // Streams with long quiet periods exercise the cross-flow window
+    // rotation on *read* paths: after an idle gap, the first packets —
+    // flow starts and non-starts alike — must observe freshly rotated
+    // (often zeroed) windows, identically in sequential, inline-sharded,
+    // and pipelined ingest. Gaps of 1x, 2x, and 10x the window length
+    // cover the swap-one-epoch and clear-both rotation branches.
+    let syn = SynFloodDetector::default_deployment();
+    let base = default_kdd_trace(200, 26);
+    let span = base.packets.last().map(|p| p.ts_ns).unwrap_or(0);
+    let window = PipelineConfig::default().window_ns;
+
+    for gap_mult in [1u64, 2, 10] {
+        let gap = gap_mult * window;
+        let mut packets: Vec<TracePacket> = Vec::with_capacity(base.packets.len() * 3);
+        for r in 0..3u64 {
+            let offset = r * (span + gap);
+            packets.extend(base.packets.iter().cloned().map(|mut p| {
+                p.ts_ns += offset;
+                p
+            }));
+        }
+
+        let golden = {
+            let mut switch =
+                SwitchBuilder::new().register_on(&syn, EngineBackend::Threshold).build();
+            for tp in &packets {
+                switch.process_trace_packet(tp);
+            }
+            switch.report()
+        };
+
+        for (shards, parse_workers) in [(2usize, 0usize), (4, 0), (2, 2), (3, 2)] {
+            let mut rt = RuntimeBuilder::new()
+                .shards(shards)
+                .batch_size(16)
+                .parse_workers(parse_workers)
+                .epoch_len(48)
+                .register_on(&syn, EngineBackend::Threshold)
+                .build();
+            let report = rt.run_packets(&packets);
+            assert_eq!(
+                report.merged, golden,
+                "gap={gap_mult}x window diverged at shards={shards} workers={parse_workers}"
+            );
+        }
     }
 }
 

@@ -140,6 +140,39 @@ fn sharded_cgra_roster_allocates_independent_of_stream_length() {
 }
 
 #[test]
+fn resident_service_feeds_allocate_nothing_after_the_first() {
+    // The streaming tentpole's allocation story, stated at its
+    // strongest: on a resident StreamingRuntime with inline ingest, a
+    // warmed `feed` performs ZERO heap allocations — not "a constant
+    // amount", literally none. Engine workers are already resident (no
+    // thread spawn), arenas are provisioned and grown, the recycle
+    // lanes are primed, and the same trace re-observes only known
+    // flows. The allocator is process-global, so the resident workers'
+    // concurrent batch processing is counted too.
+    let syn = SynFloodDetector::default_deployment();
+    let single = trace(400, 54);
+    let mut service = RuntimeBuilder::new()
+        .shards(2)
+        .batch_size(32)
+        .parse_workers(0) // inline ingest: the fully allocation-free feed path
+        .register_on(&syn, EngineBackend::Threshold)
+        .build_streaming();
+    // Cold feed: grows every arena to capacity, populates flow state.
+    service.feed(&single.packets);
+    let second = allocations_in(|| {
+        service.feed(&single.packets);
+    });
+    assert_eq!(second, 0, "a warmed feed must be allocation-free, allocated {second} times");
+    // And allocation counts must not grow between further feeds.
+    let third = allocations_in(|| {
+        service.feed(&single.packets);
+    });
+    assert_eq!(third, 0, "feed three allocated {third} times");
+    let report = service.shutdown();
+    assert_eq!(report.merged.packets, 3 * single.packets.len() as u64, "every feed processed");
+}
+
+#[test]
 fn pipelined_ingest_allocates_independent_of_stream_length() {
     // The parallel ingest pipeline adds epoch arenas, per-worker SPSC
     // lanes, and per-epoch candidate sets to the hot path; all of that

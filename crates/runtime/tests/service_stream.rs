@@ -1,0 +1,230 @@
+//! The streaming-service lifecycle suite: a resident
+//! [`StreamingRuntime`] fed in pieces must be indistinguishable from a
+//! one-shot run over the concatenated stream — across feeds, scheduled
+//! updates, drains, shutdown, and idle-timeout eviction — and the
+//! eviction stat must be bit-deterministic across shard/worker
+//! geometries.
+
+use taurus_core::apps::SynFloodDetector;
+use taurus_core::{EngineBackend, SwitchBuilder};
+use taurus_dataset::kdd::KddGenerator;
+use taurus_dataset::trace::{PacketTrace, TraceConfig, TracePacket};
+use taurus_pisa::PipelineConfig;
+use taurus_runtime::RuntimeBuilder;
+
+fn kdd_trace(n_records: usize, seed: u64) -> PacketTrace {
+    let records = KddGenerator::new(seed).take(n_records);
+    PacketTrace::expand(records, &TraceConfig { seed, ..TraceConfig::default() })
+}
+
+/// `base` replayed `repeats` times with `gap_ns` of idle time between
+/// replays (timestamps stay strictly monotone — one logical stream with
+/// long quiet periods).
+fn gapped(base: &PacketTrace, repeats: usize, gap_ns: u64) -> Vec<TracePacket> {
+    let span = base.packets.last().map(|p| p.ts_ns).unwrap_or(0);
+    let mut out = Vec::with_capacity(base.packets.len() * repeats);
+    for r in 0..repeats {
+        let offset = r as u64 * (span + gap_ns);
+        for p in &base.packets {
+            let mut p = *p;
+            p.ts_ns += offset;
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[test]
+fn successive_feeds_match_a_one_shot_run_over_the_concatenation() {
+    // The tentpole equivalence: feed the stream in three pieces to a
+    // resident service, drain once — the merged report and segments
+    // must be bit-identical to run_packets on the whole stream (batch
+    // counts may differ: feed boundaries flush partial batches early).
+    let syn = SynFloodDetector::default_deployment();
+    let trace = kdd_trace(300, 91);
+    let third = trace.packets.len() / 3;
+    let (a, rest) = trace.packets.split_at(third);
+    let (b, c) = rest.split_at(third);
+
+    for (shards, workers) in [(1usize, 0usize), (2, 0), (4, 2), (3, 1)] {
+        let build = || {
+            RuntimeBuilder::new()
+                .shards(shards)
+                .batch_size(16)
+                .parse_workers(workers)
+                .epoch_len(64)
+                .register_on(&syn, EngineBackend::Threshold)
+                .build_streaming()
+        };
+        let golden = build().run_trace(&trace);
+
+        let mut service = build();
+        service.feed(a);
+        service.feed(b);
+        service.feed(c);
+        assert_eq!(service.stream_position(), trace.packets.len() as u64);
+        let report = service.drain();
+        assert_eq!(
+            report.merged, golden.merged,
+            "shards={shards} workers={workers}: split feeds diverge from the one-shot run"
+        );
+        assert_eq!(report.segments, golden.segments);
+        for (split, whole) in report.shards.iter().zip(&golden.shards) {
+            assert_eq!(split.packets, whole.packets, "per-shard routing is feed-invariant");
+            assert_eq!(split.report, whole.report);
+        }
+    }
+}
+
+#[test]
+fn drain_resets_per_run_stats_but_keeps_flow_state() {
+    // Two feed+drain cycles on one resident service behave exactly like
+    // two run_packets calls on a long-lived ShardedRuntime: replica
+    // reports accumulate, per-run stats restart.
+    let syn = SynFloodDetector::default_deployment();
+    let trace = kdd_trace(150, 92);
+    let mut service = RuntimeBuilder::new()
+        .shards(2)
+        .batch_size(16)
+        .parse_workers(0)
+        .register_on(&syn, EngineBackend::Threshold)
+        .build_streaming();
+    let first = service.run_trace(&trace);
+    let second = service.run_trace(&trace);
+    assert_eq!(second.merged.packets, 2 * first.merged.packets, "replica reports accumulate");
+    for (a, b) in first.shards.iter().zip(&second.shards) {
+        assert_eq!(a.packets, b.packets, "per-run stats restart at each drain");
+        assert_eq!(a.batches, b.batches);
+    }
+    assert_eq!(first.segments[0].total(), trace.packets.len() as u64);
+    assert_eq!(second.segments[0].total(), trace.packets.len() as u64);
+}
+
+#[test]
+fn scheduled_updates_key_on_the_global_stream_index() {
+    let syn = SynFloodDetector::default_deployment();
+    let trace = kdd_trace(150, 93);
+    let (a, b) = trace.packets.split_at(60);
+    let k = a.len() as u64 + 20; // inside the *second* feed
+    let mut service = RuntimeBuilder::new()
+        .shards(2)
+        .batch_size(16)
+        .parse_workers(0)
+        .register_on(&syn, EngineBackend::Threshold)
+        .build_streaming();
+    // An absurdly high cutoff: the post-update segment can never drop.
+    service.schedule_update(k, syn.retune(i64::MAX - 1, 1, EngineBackend::Threshold));
+    assert_eq!(service.feed(a), 0, "the update's index lies beyond the first feed");
+    assert_eq!(
+        service.scheduled_updates(),
+        vec![(k, "syn-flood".to_string(), 1)],
+        "still pending between feeds"
+    );
+    assert_eq!(service.feed(b), 1, "consumed at its global index");
+    assert!(service.scheduled_updates().is_empty());
+    assert_eq!(service.app_versions(), vec![("syn-flood".to_string(), 1)]);
+    let report = service.drain();
+    assert_eq!(report.segments.len(), 2);
+    assert_eq!(report.segments[0].total(), k, "old model decided exactly k packets");
+    assert_eq!(report.segments[1].total(), trace.packets.len() as u64 - k);
+    assert_eq!(report.segments[1].tp + report.segments[1].fp, 0, "new cutoff never fires");
+}
+
+#[test]
+fn updates_past_the_fed_stream_install_at_the_drain_barrier() {
+    let syn = SynFloodDetector::default_deployment();
+    let trace = kdd_trace(60, 94);
+    let mut service = RuntimeBuilder::new()
+        .shards(2)
+        .register_on(&syn, EngineBackend::Threshold)
+        .build_streaming();
+    service.schedule_update(u64::MAX, syn.retune(50, 1, EngineBackend::Threshold));
+    service.feed(&trace.packets);
+    let report = service.drain();
+    assert_eq!(report.segments.len(), 2);
+    assert_eq!(report.segments[1].total(), 0, "nothing left to decide");
+    assert_eq!(service.app_versions(), vec![("syn-flood".to_string(), 1)]);
+
+    // The service stays live after the drain; shutdown returns the
+    // final (still accumulating) report and joins every worker.
+    service.feed(&trace.packets);
+    let last = service.shutdown();
+    assert_eq!(last.merged.packets, 2 * trace.packets.len() as u64);
+    assert_eq!(last.segments.len(), 1, "no updates in the second cycle");
+}
+
+#[test]
+fn install_update_applies_between_feeds_and_stays_transactional() {
+    let syn = SynFloodDetector::default_deployment();
+    let trace = kdd_trace(80, 95);
+    let mut service = RuntimeBuilder::new()
+        .shards(2)
+        .register_on(&syn, EngineBackend::Threshold)
+        .build_streaming();
+    service.feed(&trace.packets);
+    service.install_update(&syn.retune(45, 3, EngineBackend::Threshold)).expect("fresh version");
+    assert_eq!(service.app_versions(), vec![("syn-flood".to_string(), 3)]);
+    let err = service
+        .install_update(&syn.retune(45, 3, EngineBackend::Threshold))
+        .expect_err("same version again is stale");
+    assert!(err.to_string().contains("stale update"), "{err}");
+    assert_eq!(service.app_versions(), vec![("syn-flood".to_string(), 3)], "fleet untouched");
+    service.feed(&trace.packets);
+    let report = service.shutdown();
+    assert_eq!(report.merged.packets, 2 * trace.packets.len() as u64);
+    // install_update is a between-feeds control-plane action, not an
+    // in-band barrier: segments still count only scheduled updates.
+    assert_eq!(report.segments.len(), 1);
+}
+
+#[test]
+fn idle_eviction_is_deterministic_across_shard_and_worker_geometries() {
+    // A stream with long idle gaps and an idle timeout enabled: flows
+    // must evict (stat > 0), the merged report must stay bit-identical
+    // to the sequential switch for every geometry, and the eviction
+    // count must be geometry-invariant — per-slot lazy expiration is
+    // exact because all packets of a register slot traverse one shard
+    // in global order.
+    let syn = SynFloodDetector::default_deployment();
+    let base = kdd_trace(120, 96);
+    let cfg = PipelineConfig { idle_timeout_ns: 1_000_000, ..PipelineConfig::default() };
+    let packets = gapped(&base, 3, 2 * cfg.window_ns); // gaps ≫ timeout
+
+    let golden = {
+        let mut switch = SwitchBuilder::new()
+            .config(cfg.clone())
+            .register_on(&syn, EngineBackend::Threshold)
+            .build();
+        for tp in &packets {
+            switch.process_trace_packet(tp);
+        }
+        switch.report()
+    };
+    assert!(golden.evictions > 0, "the idle gaps actually evict");
+
+    for (shards, workers) in [(1usize, 0usize), (2, 0), (4, 2), (3, 1)] {
+        let mut rt = RuntimeBuilder::new()
+            .shards(shards)
+            .batch_size(16)
+            .parse_workers(workers)
+            .epoch_len(64)
+            .config(cfg.clone())
+            .register_on(&syn, EngineBackend::Threshold)
+            .build();
+        let report = rt.run_packets(&packets);
+        assert_eq!(report.merged, golden, "shards={shards} workers={workers}");
+        assert_eq!(report.evictions(), golden.evictions);
+        assert!(report.evictions() > 0);
+    }
+}
+
+#[test]
+fn eviction_disabled_by_default_keeps_reports_eviction_free() {
+    let syn = SynFloodDetector::default_deployment();
+    let base = kdd_trace(60, 97);
+    let packets = gapped(&base, 3, 10 * PipelineConfig::default().window_ns);
+    let mut rt =
+        RuntimeBuilder::new().shards(2).register_on(&syn, EngineBackend::Threshold).build();
+    let report = rt.run_packets(&packets);
+    assert_eq!(report.evictions(), 0, "idle_timeout_ns defaults to 0 = disabled");
+}
