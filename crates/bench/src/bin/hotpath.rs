@@ -13,6 +13,15 @@
 //!   channel crossing amortizes over more packets and the cheap engine
 //!   is not channel-bound).
 //!
+//! A third measurement, **threshold-keyed**, re-runs the cheap roster
+//! with the set-associative keyed flow table (1024 buckets × 4 ways):
+//! it prices the keyed access (probe + restamp + promotion + the
+//! ingest-side directory) against the direct-mapped path on the roster
+//! where table cost is most visible, reports the table's own
+//! statistics (occupancy, eviction split, probe histogram), and gates
+//! against the keyed path regressing below a fraction of the
+//! direct-mapped rate (`TAURUS_HOTPATH_KEYED_MIN_RATIO`).
+//!
 //! Each roster reports the sequential switch rate (via the verdict-only
 //! [`TaurusSwitch::process_trace_verdict`] entry point — the loop a
 //! deployment that only needs forwarding decisions would run) plus the
@@ -60,7 +69,7 @@ use taurus_core::{CgraEngine, EngineBackend, SwitchBuilder, TaurusApp, TaurusSwi
 use taurus_dataset::kdd::KddGenerator;
 use taurus_dataset::trace::{PacketTrace, TraceConfig};
 use taurus_pisa::registers::FlowFeatures;
-use taurus_pisa::{CrossFlowWindows, InferenceEngine, PipelineConfig};
+use taurus_pisa::{CrossFlowWindows, FlowTableKind, InferenceEngine, PipelineConfig};
 use taurus_runtime::{parse_packet, resolve_and_count, ParsedSlot, PreparedPacket, RuntimeBuilder};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -237,12 +246,12 @@ fn measure_breakdown(
     let mut seen = ObsBuilder::new();
     let mut merge_windows = CrossFlowWindows::new(config.flow_slots, config.window_ns);
     for s in &mut slots {
-        resolve_and_count(s, &mut seen, &mut merge_windows); // warm-up
+        resolve_and_count(s, &mut seen, &mut merge_windows, None); // warm-up
     }
     seen.reset();
     merge_windows.clear();
     let merge_ns = ns_per_call(n, |i| {
-        resolve_and_count(&mut slots[i], &mut seen, &mut merge_windows);
+        resolve_and_count(&mut slots[i], &mut seen, &mut merge_windows, None);
         std::hint::black_box(&slots[i]);
     });
 
@@ -424,6 +433,45 @@ fn main() {
                 .build()
         },
     );
+    // The keyed set-associative table, priced on the cheap roster where
+    // table cost is the biggest fraction of the per-packet path. The
+    // same measure_roster harness cross-checks keyed-sharded against
+    // keyed-sequential at every shard count.
+    let keyed_config = PipelineConfig {
+        flow_table: FlowTableKind::Keyed { buckets: 1024, ways: 4 },
+        ..PipelineConfig::default()
+    };
+    let keyed = measure_roster(
+        "threshold-keyed",
+        &trace,
+        1024,
+        || {
+            SwitchBuilder::new()
+                .config(keyed_config.clone())
+                .register_on(&syn, EngineBackend::Threshold)
+                .build()
+        },
+        |shards, batch| {
+            RuntimeBuilder::new()
+                .shards(shards)
+                .batch_size(batch)
+                .config(keyed_config.clone())
+                .register_on(&syn, EngineBackend::Threshold)
+                .build()
+        },
+    );
+    // The keyed table's own statistics over this workload, for the
+    // flow-table rows of the report and the trajectory entry.
+    let keyed_report = {
+        let mut switch = SwitchBuilder::new()
+            .config(keyed_config.clone())
+            .register_on(&syn, EngineBackend::Threshold)
+            .build();
+        for tp in &trace.packets {
+            switch.process_trace_verdict(tp);
+        }
+        switch.report()
+    };
 
     let baseline_cgra = std::env::var("TAURUS_HOTPATH_BASELINE_PPS")
         .ok()
@@ -436,7 +484,9 @@ fn main() {
         .unwrap_or(PR4_CGRA_SEQ_PPS);
 
     let mut rows = Vec::new();
-    for (r, baseline) in [(&cgra, baseline_cgra), (&threshold, baseline_threshold)] {
+    for (r, baseline) in
+        [(&cgra, baseline_cgra), (&threshold, baseline_threshold), (&keyed, baseline_threshold)]
+    {
         rows.push(vec![
             r.name.to_string(),
             "seq".to_string(),
@@ -471,6 +521,21 @@ fn main() {
             vec!["other (parse+registers+MATs)".into(), f(breakdown.other_ns, 1)],
             vec!["= sequential total".into(), f(breakdown.seq_total_ns, 1)],
             vec!["channel (1-shard runtime − seq)".into(), f(breakdown.channel_ns, 1)],
+        ],
+    );
+
+    let probe_hist =
+        keyed_report.probe_hist.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" / ");
+    let keyed_ratio = keyed.seq_pps / threshold.seq_pps;
+    print_table(
+        "Keyed flow table (threshold roster, 1024 buckets x 4 ways)",
+        &["metric", "value"],
+        &[
+            vec!["occupancy (entries live)".into(), keyed_report.flow_occupancy.to_string()],
+            vec!["capacity evictions".into(), keyed_report.capacity_evictions.to_string()],
+            vec!["idle evictions".into(), keyed_report.evictions.to_string()],
+            vec!["probe histogram (way 0..)".into(), probe_hist],
+            vec!["seq rate vs direct-mapped".into(), f(keyed_ratio, 2)],
         ],
     );
 
@@ -516,6 +581,24 @@ fn main() {
                 ("cgra_scaling_8v1", Json::Float(scaling)),
                 ("cgra", roster_json(&cgra, PRE_REFACTOR_CGRA_SEQ_PPS)),
                 ("threshold", roster_json(&threshold, PRE_REFACTOR_THRESHOLD_SEQ_PPS)),
+                ("threshold_keyed", roster_json(&keyed, PRE_REFACTOR_THRESHOLD_SEQ_PPS)),
+                ("keyed_vs_direct_ratio", Json::Float(keyed_ratio)),
+                (
+                    "keyed_table",
+                    Json::Object(vec![
+                        ("buckets", Json::UInt(1024)),
+                        ("ways", Json::UInt(4)),
+                        ("occupancy", Json::UInt(keyed_report.flow_occupancy)),
+                        ("capacity_evictions", Json::UInt(keyed_report.capacity_evictions)),
+                        ("idle_evictions", Json::UInt(keyed_report.evictions)),
+                        (
+                            "probe_hist",
+                            Json::Array(
+                                keyed_report.probe_hist.iter().map(|&c| Json::UInt(c)).collect(),
+                            ),
+                        ),
+                    ]),
+                ),
                 ("breakdown", breakdown_json(&breakdown)),
             ]);
             let dir = std::path::Path::new("results");
@@ -538,6 +621,22 @@ fn main() {
             "hot-path regression: single-shard CGRA roster must stay >=1.1x the PR-4 \
              trajectory entry (got {speedup_pr4:.2}x; re-baseline with TAURUS_HOTPATH_PR4_PPS \
              if the hardware class changed)"
+        );
+        // The keyed table costs a bounded-state guarantee's worth of
+        // probing; it must not cost more. The floor is relative (same
+        // run, same machine, same workload), so it is immune to
+        // hardware-class drift — 0.5x is far below the recorded ratio
+        // and exists to catch a keyed path that quietly went quadratic
+        // or started allocating.
+        let keyed_min = std::env::var("TAURUS_HOTPATH_KEYED_MIN_RATIO")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.5);
+        assert!(
+            keyed_ratio >= keyed_min,
+            "keyed flow-table regression: the keyed threshold roster runs at {keyed_ratio:.2}x \
+             the direct-mapped rate (gate: >={keyed_min:.2}x; retarget with \
+             TAURUS_HOTPATH_KEYED_MIN_RATIO if the trade-off is intentional)"
         );
     } else {
         println!("smoke mode: exactness checked at every shard count; no snapshot written");

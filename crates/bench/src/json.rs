@@ -361,6 +361,7 @@ mod tests {
                 policy: VerdictPolicy::Enforce,
                 counters: AppCounters { packets: 10, ml_packets: 8, dropped: 2, flagged: 1 },
             }],
+            ..SwitchReport::default()
         };
         let s = report.to_json().pretty();
         let packets_at = s.find("\"packets\"").unwrap();

@@ -86,15 +86,42 @@ pub fn flow_start_flags_ok(tp: &TracePacket) -> bool {
 /// Builds register-stage observations the way hardware would, tracking
 /// first-seen connections to mark flow starts. Must observe packets in
 /// arrival order; one builder per packet stream.
-#[derive(Debug, Clone, Default)]
+///
+/// The *untracked* variant ([`ObsBuilder::untracked`]) keeps no
+/// first-seen set at all: it leaves `is_flow_start` false and expects a
+/// keyed flow table (or flow directory) downstream to resolve starts by
+/// table-miss semantics — the configuration that deletes the unbounded
+/// per-connection `HashSet` from long-lived keyed-mode streams.
+#[derive(Debug, Clone)]
 pub struct ObsBuilder {
-    seen_flows: HashSet<u32>,
+    /// `Some`: the classic tracked builder. `None`: untracked — flow
+    /// starts are somebody else's (the keyed table's) problem.
+    seen_flows: Option<HashSet<u32>>,
+}
+
+impl Default for ObsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ObsBuilder {
-    /// A fresh builder with no flows seen.
+    /// A fresh tracked builder with no flows seen.
     pub fn new() -> Self {
-        Self::default()
+        Self { seen_flows: Some(HashSet::new()) }
+    }
+
+    /// A builder that never tracks connections and never marks a flow
+    /// start, for keyed-mode streams where a miss in the keyed flow
+    /// table *is* the flow start. Holds no per-connection state, so its
+    /// memory is O(1) regardless of stream length.
+    pub fn untracked() -> Self {
+        Self { seen_flows: None }
+    }
+
+    /// Whether this builder tracks first-seen connections.
+    pub fn is_tracked(&self) -> bool {
+        self.seen_flows.is_some()
     }
 
     /// Builds the observation for one packet: direction from SYN-side
@@ -116,20 +143,25 @@ impl ObsBuilder {
     }
 
     /// Records that `conn_id` has been observed, returning whether this
-    /// is its first sighting. This is the *only* order-bound piece of
-    /// observation building: a parallel ingest pipeline calls it from
-    /// its merge stage, in global arrival order, on the per-epoch
-    /// first-seen candidates its parse workers pre-filtered — every
-    /// other packet of a connection inside an epoch is provably not the
-    /// global first, so the merge stage touches this set once per
-    /// (connection, epoch), not once per packet.
+    /// is its first sighting (always `false` untracked). This is the
+    /// *only* order-bound piece of observation building: a parallel
+    /// ingest pipeline calls it from its merge stage, in global arrival
+    /// order, on the per-epoch first-seen candidates its parse workers
+    /// pre-filtered — every other packet of a connection inside an epoch
+    /// is provably not the global first, so the merge stage touches this
+    /// set once per (connection, epoch), not once per packet.
     pub fn mark_seen(&mut self, conn_id: u32) -> bool {
-        self.seen_flows.insert(conn_id)
+        match &mut self.seen_flows {
+            Some(seen) => seen.insert(conn_id),
+            None => false,
+        }
     }
 
     /// Forgets all seen flows (between experiment phases).
     pub fn reset(&mut self) {
-        self.seen_flows.clear();
+        if let Some(seen) = &mut self.seen_flows {
+            seen.clear();
+        }
     }
 }
 
@@ -192,6 +224,24 @@ mod tests {
             obs.is_flow_start = split.mark_seen(tp.conn_id) && flow_start_flags_ok(tp);
             assert_eq!(obs, golden);
         }
+    }
+
+    #[test]
+    fn untracked_builder_never_marks_starts_but_matches_wire_fields() {
+        let records = KddGenerator::new(95).take(60);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let mut tracked = ObsBuilder::new();
+        let mut untracked = ObsBuilder::untracked();
+        assert!(tracked.is_tracked());
+        assert!(!untracked.is_tracked());
+        for tp in &trace.packets {
+            let golden = tracked.observe(tp);
+            let u = untracked.observe(tp);
+            assert!(!u.is_flow_start, "untracked never claims a start");
+            assert!(!untracked.mark_seen(tp.conn_id), "mark_seen is inert untracked");
+            assert_eq!(PacketObs { is_flow_start: false, ..golden }, u, "wire fields agree");
+        }
+        untracked.reset(); // inert, but must not panic
     }
 
     #[test]

@@ -69,6 +69,17 @@ pub struct SwitchReport {
     /// Flow-table slots evicted by idle timeout across all hosted apps
     /// (0 unless `PipelineConfig::idle_timeout_ns` is set).
     pub evictions: u64,
+    /// Flow-table occupants evicted because their bucket filled, across
+    /// all hosted apps (keyed flow tables only; 0 direct-mapped).
+    pub capacity_evictions: u64,
+    /// Flow-table slots currently holding a stamped occupant, summed
+    /// across hosted apps (0 for direct-mapped tables with the idle
+    /// timer off, which never stamp).
+    pub flow_occupancy: u64,
+    /// Flow-table accesses resolved per probe position, summed across
+    /// hosted apps (keyed flow tables: one cell per way; empty
+    /// direct-mapped).
+    pub probe_hist: Vec<u64>,
     /// Per-app identities and counters, in registration order.
     pub apps: Vec<AppReport>,
 }
@@ -126,6 +137,14 @@ impl SwitchReport {
         self.dropped += other.dropped;
         self.flagged += other.flagged;
         self.evictions += other.evictions;
+        self.capacity_evictions += other.capacity_evictions;
+        self.flow_occupancy += other.flow_occupancy;
+        if self.probe_hist.len() < other.probe_hist.len() {
+            self.probe_hist.resize(other.probe_hist.len(), 0);
+        }
+        for (mine, theirs) in self.probe_hist.iter_mut().zip(&other.probe_hist) {
+            *mine += theirs;
+        }
         for (mine, theirs) in self.apps.iter_mut().zip(&other.apps) {
             mine.counters.absorb(&theirs.counters);
         }
@@ -344,7 +363,14 @@ impl SwitchBuilder {
                 }
             })
             .collect();
-        TaurusSwitch { apps, obs_builder: ObsBuilder::new(), aggregate: AppCounters::default() }
+        // Keyed flow tables resolve flow starts by table miss, so the
+        // ingest builder keeps no per-connection first-seen set at all —
+        // O(1) ingest memory regardless of stream length.
+        let obs_builder = match config.flow_table {
+            taurus_pisa::FlowTableKind::Keyed { .. } => ObsBuilder::untracked(),
+            taurus_pisa::FlowTableKind::DirectMapped => ObsBuilder::new(),
+        };
+        TaurusSwitch { apps, obs_builder, aggregate: AppCounters::default() }
     }
 }
 
@@ -492,6 +518,18 @@ impl TaurusSwitch {
             dropped: self.aggregate.dropped,
             flagged: self.aggregate.flagged,
             evictions: self.apps.iter().map(|app| app.pipeline.evictions()).sum(),
+            capacity_evictions: self.apps.iter().map(|app| app.pipeline.capacity_evictions()).sum(),
+            flow_occupancy: self.apps.iter().map(|app| app.pipeline.flow_occupancy()).sum(),
+            probe_hist: self.apps.iter().fold(Vec::new(), |mut acc, app| {
+                let hist = app.pipeline.probe_hist();
+                if acc.len() < hist.len() {
+                    acc.resize(hist.len(), 0);
+                }
+                for (a, h) in acc.iter_mut().zip(hist) {
+                    *a += h;
+                }
+                acc
+            }),
             apps: self
                 .apps
                 .iter()

@@ -31,7 +31,7 @@ pub mod pipeline;
 pub mod registers;
 pub mod sched;
 
-pub use flow_table::IdleTable;
+pub use flow_table::{Access, FlowEntry, FlowTable, FlowTableKind};
 pub use mat::{Action, MatchKind, MatchTable, VliwOp};
 pub use packet::Packet;
 pub use parser::Parser;

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::flow_table::FlowTableKind;
 use crate::mat::{MatchTable, MAT_LATENCY_NS};
 use crate::packet::Packet;
 use crate::parser::{Parser, PARSE_LATENCY_NS};
@@ -145,6 +146,11 @@ pub struct PipelineConfig {
     /// Slots idle at least this long are evicted before their next
     /// packet accumulates, bounding live flow state for long streams.
     pub idle_timeout_ns: u64,
+    /// Flow-table geometry: direct-mapped register arrays (the default,
+    /// byte-identical to the historical pipeline) or a keyed
+    /// set-associative table in which flow starts are table misses and
+    /// full buckets evict their oldest occupant.
+    pub flow_table: FlowTableKind,
 }
 
 impl Default for PipelineConfig {
@@ -155,6 +161,7 @@ impl Default for PipelineConfig {
             feature_count: 6,
             queue_capacity: 1024,
             idle_timeout_ns: 0,
+            flow_table: FlowTableKind::DirectMapped,
         }
     }
 }
@@ -203,7 +210,8 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
         engine: E,
         formatter: impl FnMut(&FlowFeatures, &mut Vec<i32>) + Send + 'static,
     ) -> Self {
-        let mut tracker = FlowTracker::new(config.flow_slots, config.window_ns);
+        let mut tracker =
+            FlowTracker::with_kind(config.flow_table, config.flow_slots, config.window_ns);
         tracker.set_idle_timeout(config.idle_timeout_ns);
         Self {
             parser: Parser::new(),
@@ -254,8 +262,17 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
     /// these from SYN/five-tuple state, and so does this hint builder in
     /// `taurus-core`.
     pub fn process(&mut self, pkt: &Packet, obs_hint: PacketObs) -> PipelineResult {
-        let (dst_count, srv_count) = self.tracker.windows_observe(&obs_hint);
-        self.process_prepared(pkt, obs_hint, dst_count, srv_count)
+        self.packets += 1;
+        let mut latency = PARSE_LATENCY_NS;
+        self.parser.parse_into(pkt, &mut self.phv);
+
+        // Stateful feature accumulation (register stage). In keyed mode
+        // the tracker resolves flow starts by table miss, overriding the
+        // ingest hint's bit.
+        let features = self.tracker.observe(&obs_hint);
+        latency += MAT_LATENCY_NS; // register access rides one stage
+
+        self.finish_packet(features, latency)
     }
 
     /// Processes one packet whose cross-flow window counts were computed
@@ -278,6 +295,13 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
         let features = self.tracker.observe_prepared(&obs_hint, dst_count, srv_count);
         latency += MAT_LATENCY_NS; // register access rides one stage
 
+        self.finish_packet(features, latency)
+    }
+
+    /// The shared pipeline tail after the register stage: preprocessing
+    /// MATs, inference or bypass, the round-robin join, and the
+    /// postprocessing MATs.
+    fn finish_packet(&mut self, features: FlowFeatures, mut latency: u64) -> PipelineResult {
         // Preprocessing MATs: bypass decision and metadata.
         for t in &mut self.pre_tables {
             t.apply(&mut self.phv);
@@ -329,6 +353,23 @@ impl<E: InferenceEngine> TaurusPipeline<E> {
     /// last [`TaurusPipeline::reset_state`].
     pub fn evictions(&self) -> u64 {
         self.tracker.evictions()
+    }
+
+    /// Occupants evicted because their bucket filled (keyed flow tables
+    /// only; always 0 direct-mapped).
+    pub fn capacity_evictions(&self) -> u64 {
+        self.tracker.capacity_evictions()
+    }
+
+    /// Flow-table slots currently holding a stamped occupant.
+    pub fn flow_occupancy(&self) -> u64 {
+        self.tracker.occupancy()
+    }
+
+    /// Accesses resolved per probe position (keyed flow tables; empty
+    /// direct-mapped).
+    pub fn probe_hist(&self) -> &[u64] {
+        self.tracker.probe_hist()
     }
 }
 

@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::flow_table::IdleTable;
+use crate::flow_table::{FlowTable, FlowTableKind};
 
 /// A register array: the PISA stateful primitive (bounded memory, indexed
 /// by a hash — collisions are a modeled artifact, as in real switches).
@@ -67,6 +67,16 @@ impl RegisterArray {
     pub fn add(&mut self, key: u64, v: i64) -> i64 {
         let i = self.idx(key);
         self.data[i] = self.data[i].wrapping_add(v);
+        self.data[i]
+    }
+
+    /// Adds to the cell for a key with saturation at the `i64` bounds,
+    /// returning the new value. Used where a wrapped counter would turn
+    /// into a bogus small (or negative-clamped-to-zero) reading rather
+    /// than an obviously pegged one — the window counters.
+    pub fn add_saturating(&mut self, key: u64, v: i64) -> i64 {
+        let i = self.idx(key);
+        self.data[i] = self.data[i].saturating_add(v);
         self.data[i]
     }
 
@@ -173,13 +183,15 @@ impl WindowCounters {
 
     /// Bumps the key's current-epoch cell and returns the windowed
     /// total. The caller must have rotated for this timestamp already.
+    /// Saturating throughout: an adversarially long run pegs the count
+    /// at `i64::MAX` instead of wrapping negative and clamping to 0.
     fn bump(&mut self, key: u64) -> u64 {
-        let cur = self.current.add(key, 1);
-        (cur + self.previous.read(key)).max(0) as u64
+        let cur = self.current.add_saturating(key, 1);
+        cur.saturating_add(self.previous.read(key)).max(0) as u64
     }
 
     fn read(&self, key: u64) -> u64 {
-        (self.current.read(key) + self.previous.read(key)).max(0) as u64
+        self.current.read(key).saturating_add(self.previous.read(key)).max(0) as u64
     }
 
     fn clear(&mut self) {
@@ -240,17 +252,11 @@ impl CrossFlowWindows {
 /// Per-flow and cross-flow feature state for the data plane.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlowTracker {
-    pkt_count: RegisterArray,
-    fwd_bytes: RegisterArray,
-    rev_bytes: RegisterArray,
-    urg_count: RegisterArray,
-    syn_count: RegisterArray,
-    first_ts: RegisterArray,
+    /// Per-flow occupancy and counters: direct-mapped (the historical
+    /// register arrays, byte-identical) or keyed set-associative.
+    table: FlowTable,
     windows: CrossFlowWindows,
     window_ns: u64,
-    /// Idle-timeout expiration over the per-flow slots (disabled by
-    /// default): the bounded-memory story for long-lived streams.
-    idle: IdleTable,
 }
 
 /// One packet's worth of observation input to [`FlowTracker::observe`].
@@ -277,19 +283,21 @@ pub struct PacketObs {
 }
 
 impl FlowTracker {
-    /// Creates a tracker with `slots` register cells per array and the
-    /// given cross-flow window.
+    /// Creates a direct-mapped tracker with `slots` cells and the given
+    /// cross-flow window — the historical constructor and semantics.
     pub fn new(slots: usize, window_ns: u64) -> Self {
+        Self::with_kind(FlowTableKind::DirectMapped, slots, window_ns)
+    }
+
+    /// Creates a tracker over the given flow-table geometry. The
+    /// cross-flow windows are always sized by `flow_slots` regardless of
+    /// geometry, so keyed and direct-mapped trackers see identical
+    /// windowed fan-in on the same stream.
+    pub fn with_kind(kind: FlowTableKind, flow_slots: usize, window_ns: u64) -> Self {
         Self {
-            pkt_count: RegisterArray::new("pkt_count", slots),
-            fwd_bytes: RegisterArray::new("fwd_bytes", slots),
-            rev_bytes: RegisterArray::new("rev_bytes", slots),
-            urg_count: RegisterArray::new("urg_count", slots),
-            syn_count: RegisterArray::new("syn_count", slots),
-            first_ts: RegisterArray::new("first_ts", slots),
-            windows: CrossFlowWindows::new(slots, window_ns),
+            table: FlowTable::with_kind(kind, flow_slots, 0),
+            windows: CrossFlowWindows::new(flow_slots, window_ns),
             window_ns,
-            idle: IdleTable::new(slots, 0),
         }
     }
 
@@ -299,25 +307,48 @@ impl FlowTracker {
     /// re-observes as a fresh flow start rather than inheriting the
     /// dead occupant's counters.
     pub fn set_idle_timeout(&mut self, idle_timeout_ns: u64) {
-        self.idle.set_idle_timeout(idle_timeout_ns);
+        self.table.set_idle_timeout(idle_timeout_ns);
     }
 
     /// The configured idle timeout, ns (0 = expiration disabled).
     pub fn idle_timeout_ns(&self) -> u64 {
-        self.idle.idle_timeout_ns()
+        self.table.idle_timeout_ns()
     }
 
     /// Slots evicted by idle timeout since construction or the last
     /// [`FlowTracker::clear`].
     pub fn evictions(&self) -> u64 {
-        self.idle.evictions()
+        self.table.idle_evictions()
     }
 
-    /// Register cells per array — the capacity a sharded runtime must
-    /// preserve per replica (not divide) to keep hash-collision structure,
+    /// Occupants evicted because their bucket filled (keyed mode only;
+    /// always 0 direct-mapped).
+    pub fn capacity_evictions(&self) -> u64 {
+        self.table.capacity_evictions()
+    }
+
+    /// Slots currently holding a stamped occupant (see
+    /// [`FlowTable::occupancy`] for the direct-mapped caveat).
+    pub fn occupancy(&self) -> u64 {
+        self.table.occupancy()
+    }
+
+    /// Accesses resolved per probe position (keyed mode; empty
+    /// direct-mapped).
+    pub fn probe_hist(&self) -> &[u64] {
+        self.table.probe_hist()
+    }
+
+    /// The flow-table geometry this tracker runs.
+    pub fn flow_table_kind(&self) -> FlowTableKind {
+        self.table.kind()
+    }
+
+    /// Occupant capacity — the capacity a sharded runtime must preserve
+    /// per replica (not divide) to keep collision/displacement structure,
     /// and hence features, identical to a single tracker.
     pub fn slots(&self) -> usize {
-        self.pkt_count.len()
+        self.table.capacity()
     }
 
     /// The cross-flow counting window, ns.
@@ -326,88 +357,97 @@ impl FlowTracker {
     }
 
     /// Observes one packet, updating all registers, and returns the
-    /// flow's cumulative features as of this packet.
+    /// flow's cumulative features as of this packet. In keyed mode the
+    /// incoming `is_flow_start` is ignored: a table miss (or any
+    /// eviction) *is* the flow start, and that resolved bit drives the
+    /// cross-flow windows.
     pub fn observe(&mut self, obs: &PacketObs) -> FlowFeatures {
-        let (dst_count, srv_count) = self.windows_observe(obs);
-        self.observe_prepared(obs, dst_count, srv_count)
+        if self.table.is_keyed() {
+            let (idx, access) = self.table.access(obs.flow_key, obs.ts_ns);
+            let mut resolved = *obs;
+            resolved.is_flow_start = access.is_start();
+            let (dst_count, srv_count) = self.windows.observe(&resolved);
+            self.accumulate_at(idx, obs, dst_count, srv_count)
+        } else {
+            let (dst_count, srv_count) = self.windows.observe(obs);
+            self.observe_prepared(obs, dst_count, srv_count)
+        }
     }
 
     /// Advances this tracker's own cross-flow windows for one packet and
     /// returns `(dst_count, srv_count)` ([`FlowTracker::observe`] =
-    /// this + [`FlowTracker::observe_prepared`]).
+    /// this + [`FlowTracker::observe_prepared`] in direct-mapped mode).
     pub fn windows_observe(&mut self, obs: &PacketObs) -> (u64, u64) {
         self.windows.observe(obs)
     }
 
     /// Observes one packet whose cross-flow window counts were computed
     /// elsewhere (a shared ingest stage running [`CrossFlowWindows`] in
-    /// global arrival order). Updates only flow-local registers — this
-    /// tracker's own windows stay untouched.
+    /// global arrival order). Updates only flow-local state — this
+    /// tracker's own windows stay untouched. Accumulation never reads
+    /// `obs.is_flow_start`, so keyed shards recompute table outcomes
+    /// locally and stay bit-identical to a sequential tracker.
     pub fn observe_prepared(
         &mut self,
         obs: &PacketObs,
         dst_count: u64,
         srv_count: u64,
     ) -> FlowFeatures {
-        let k = obs.flow_key;
-        if self.idle.touch(k, obs.ts_ns) {
-            self.evict_slot(k);
+        let (idx, _) = self.table.access(obs.flow_key, obs.ts_ns);
+        self.accumulate_at(idx, obs, dst_count, srv_count)
+    }
+
+    /// Accumulates one packet into the occupant entry at `idx` and
+    /// derives the feature view. Field arithmetic mirrors the historical
+    /// `RegisterArray` semantics exactly (wrapping adds, `ts + 1`
+    /// first-seen sentinel with a single read after the conditional
+    /// stamp).
+    fn accumulate_at(
+        &mut self,
+        idx: usize,
+        obs: &PacketObs,
+        dst_count: u64,
+        srv_count: u64,
+    ) -> FlowFeatures {
+        let e = self.table.entry_mut(idx);
+        e.pkt_count = e.pkt_count.wrapping_add(1);
+        let packets = e.pkt_count as u64;
+        if obs.reverse {
+            e.rev_bytes = e.rev_bytes.wrapping_add(i64::from(obs.len));
+        } else {
+            e.fwd_bytes = e.fwd_bytes.wrapping_add(i64::from(obs.len));
         }
-        let packets = self.pkt_count.add(k, 1) as u64;
-        let (fwd, rev) = if obs.reverse {
-            (self.fwd_bytes.read(k), self.rev_bytes.add(k, i64::from(obs.len)))
-        } else {
-            (self.fwd_bytes.add(k, i64::from(obs.len)), self.rev_bytes.read(k))
-        };
-        let urg = if obs.tcp_flags & 0x20 != 0 {
-            self.urg_count.add(k, 1)
-        } else {
-            self.urg_count.read(k)
-        };
+        if obs.tcp_flags & 0x20 != 0 {
+            e.urg_count = e.urg_count.wrapping_add(1);
+        }
         let bare_syn = obs.tcp_flags & 0x02 != 0 && obs.tcp_flags & 0x10 == 0;
-        let syn = if bare_syn { self.syn_count.add(k, 1) } else { self.syn_count.read(k) };
-        if self.first_ts.read(k) == 0 {
-            // ts 0 is "unset"; first packet stamps ts+1 to disambiguate.
-            self.first_ts.write(k, obs.ts_ns as i64 + 1);
+        if bare_syn {
+            e.syn_count = e.syn_count.wrapping_add(1);
         }
-        let first = (self.first_ts.read(k) - 1).max(0) as u64;
+        if e.first_ts == 0 {
+            // ts 0 is "unset"; first packet stamps ts+1 to disambiguate.
+            e.first_ts = obs.ts_ns as i64 + 1;
+        }
+        let first = (e.first_ts - 1).max(0) as u64;
 
         FlowFeatures {
             duration_ns: obs.ts_ns.saturating_sub(first),
-            fwd_bytes: fwd.max(0) as u64,
-            rev_bytes: rev.max(0) as u64,
+            fwd_bytes: e.fwd_bytes.max(0) as u64,
+            rev_bytes: e.rev_bytes.max(0) as u64,
             packets,
-            urgent: urg.max(0) as u64,
-            syn_only: syn.max(0) as u64,
+            urgent: e.urg_count.max(0) as u64,
+            syn_only: e.syn_count.max(0) as u64,
             dst_count,
             srv_count,
             proto: obs.proto,
         }
     }
 
-    /// Zeroes one slot's per-flow registers — the eviction action. The
-    /// cross-flow windows are untouched: they are keyed by destination,
-    /// not by flow slot, and age out on their own rotation schedule.
-    fn evict_slot(&mut self, key: u64) {
-        self.pkt_count.write(key, 0);
-        self.fwd_bytes.write(key, 0);
-        self.rev_bytes.write(key, 0);
-        self.urg_count.write(key, 0);
-        self.syn_count.write(key, 0);
-        self.first_ts.write(key, 0);
-    }
-
     /// Clears all state (e.g., between experiment runs), including the
-    /// idle table and its eviction counter.
+    /// flow table and its eviction counters.
     pub fn clear(&mut self) {
-        self.pkt_count.clear();
-        self.fwd_bytes.clear();
-        self.rev_bytes.clear();
-        self.urg_count.clear();
-        self.syn_count.clear();
-        self.first_ts.clear();
+        self.table.clear();
         self.windows.clear();
-        self.idle.clear();
     }
 }
 
@@ -551,6 +591,97 @@ mod tests {
         assert_eq!(t, FlowTracker::new(64, 1_000), "clear() == fresh tracker");
         assert_eq!(t.slots(), 64);
         assert_eq!(t.window_ns(), 1_000);
+    }
+
+    #[test]
+    fn keyed_tracker_resolves_flow_starts_by_table_miss() {
+        use crate::flow_table::FlowTableKind;
+        let mut t =
+            FlowTracker::with_kind(FlowTableKind::Keyed { buckets: 8, ways: 2 }, 64, 1_000_000);
+        // The ingest bit is deliberately wrong (false): keyed mode must
+        // ignore it and treat the table miss as the start.
+        let f = t.observe(&obs(1, 1_000, 100, 0x02, false, false));
+        assert_eq!(f.dst_count, 1, "miss bumped the dst window");
+        // Second packet of the same flow is a hit even if ingest claims
+        // a start: the window reads instead of bumping again.
+        let f2 = t.observe(&obs(1, 2_000, 100, 0x10, true, false));
+        assert_eq!(f2.packets, 2);
+        assert_eq!(f2.dst_count, 1, "hit reads, never re-bumps");
+    }
+
+    #[test]
+    fn keyed_tracker_keeps_colliding_flows_separate() {
+        use crate::flow_table::FlowTableKind;
+        // Keys 3 and 11 collide direct-mapped at 8 slots; keyed they
+        // share bucket 3 but keep distinct entries.
+        let mut direct = FlowTracker::new(8, 1_000_000);
+        let mut keyed =
+            FlowTracker::with_kind(FlowTableKind::Keyed { buckets: 8, ways: 2 }, 8, 1_000_000);
+        for t in [&mut direct, &mut keyed] {
+            t.observe(&obs(3, 1_000, 100, 0x02, true, false));
+            t.observe(&obs(11, 2_000, 60, 0x02, true, false));
+        }
+        let d = direct.observe(&obs(3, 3_000, 40, 0x10, false, false));
+        let k = keyed.observe(&obs(3, 3_000, 40, 0x10, false, false));
+        assert_eq!(d.packets, 3, "direct-mapped collision merges the flows");
+        assert_eq!(k.packets, 2, "keyed table keeps them separate");
+        assert_eq!(k.fwd_bytes, 140);
+    }
+
+    #[test]
+    fn keyed_tracker_idle_eviction_restarts_fresh_and_counts() {
+        use crate::flow_table::FlowTableKind;
+        let mut t =
+            FlowTracker::with_kind(FlowTableKind::Keyed { buckets: 4, ways: 2 }, 64, 1_000_000);
+        t.set_idle_timeout(10_000);
+        assert_eq!(t.observe(&obs(1, 1_000, 100, 0x02, false, false)).packets, 1);
+        assert_eq!(t.observe(&obs(1, 2_000, 100, 0x10, false, false)).packets, 2);
+        let f = t.observe(&obs(1, 50_000, 80, 0x02, false, false));
+        assert_eq!(f.packets, 1, "idled occupant restarts at packet 1");
+        assert_eq!(f.duration_ns, 0);
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.capacity_evictions(), 0);
+    }
+
+    #[test]
+    fn keyed_tracker_capacity_eviction_surfaces_in_stats() {
+        use crate::flow_table::FlowTableKind;
+        let mut t =
+            FlowTracker::with_kind(FlowTableKind::Keyed { buckets: 1, ways: 2 }, 64, 1_000_000);
+        for key in 1..=5u64 {
+            t.observe(&obs(key, key * 1_000, 60, 0x02, false, false));
+        }
+        assert_eq!(t.capacity_evictions(), 3, "5 flows through a 2-way bucket");
+        assert_eq!(t.occupancy(), 2);
+        assert_eq!(t.probe_hist().iter().sum::<u64>(), 5, "every access lands in the histogram");
+    }
+
+    mod window_overflow {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Satellite fix pin: windowed counts saturate instead of
+            // wrapping through i64 overflow. Prefill the current bank
+            // near i64::MAX, then any mix of bumps and reads must stay
+            // pegged at huge values — never wrap negative and clamp to
+            // a small/zero reading.
+            #[test]
+            fn window_counters_saturate_instead_of_wrapping(
+                prefill in (i64::MAX - 64)..i64::MAX,
+                ops in proptest::collection::vec(any::<bool>(), 1..40),
+            ) {
+                let mut w = WindowCounters::new("t", 4, u64::MAX);
+                w.current.write(0, prefill);
+                w.previous.write(0, prefill);
+                let floor = prefill as u64;
+                for bump in ops {
+                    let got = if bump { w.bump(0) } else { w.read(0) };
+                    prop_assert!(got >= floor, "count regressed: {got} < {floor}");
+                }
+                prop_assert!(w.current.read(0) >= prefill, "current bank wrapped");
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,15 @@
 //! ([`taurus_pisa::PipelineConfig::idle_timeout_ns`]) so flow state
 //! stays bounded on endless streams.
 //!
+//! The keyed set-associative flow table
+//! ([`taurus_pisa::FlowTableKind::Keyed`]) takes the bounded-state
+//! story to its end: per-flow counters live in `buckets × ways` keyed
+//! entries with oldest-last-seen replacement, flow starts resolve by
+//! table-miss semantics (deleting the unbounded per-connection
+//! seen-set from ingest), and routing by *bucket* keeps sharding exact
+//! — replacement only ever involves one bucket, and a bucket lives on
+//! one shard (`tests/keyed.rs` pins the sweep).
+//!
 //! ```
 //! use taurus_core::apps::SynFloodDetector;
 //! use taurus_core::EngineBackend;

@@ -58,7 +58,7 @@ use std::sync::Arc;
 use taurus_core::ingest::ObsBuilder;
 use taurus_core::ModelUpdate;
 use taurus_dataset::trace::TracePacket;
-use taurus_pisa::CrossFlowWindows;
+use taurus_pisa::{CrossFlowWindows, FlowTable};
 
 use crate::pipeline::stage::{parse_worker, ParsePlan};
 use crate::pipeline::steer::{Batch, ShardMsg, SteerState, Steering};
@@ -93,6 +93,10 @@ pub(crate) struct PipelineRun<'run, 'env> {
     pub seen: &'run mut ObsBuilder,
     /// The one shared cross-flow window instance (order-bound).
     pub windows: &'run mut CrossFlowWindows,
+    /// Keyed mode's shared flow directory (order-bound, merge-stage
+    /// owned): `Some` routes flow-start resolution through table-miss
+    /// semantics instead of the seen-set.
+    pub directory: &'run mut Option<FlowTable>,
     /// The resident steer staging state.
     pub steer: &'run mut SteerState,
     /// Cross-run pool of steer→engine batch arenas.
@@ -128,6 +132,7 @@ pub(crate) fn run<'scope, 'env>(
         updates,
         seen,
         windows,
+        directory,
         steer: steer_state,
         batch_pool,
         epoch_pool,
@@ -144,7 +149,7 @@ pub(crate) fn run<'scope, 'env>(
     while epoch_pool.len() < provision {
         epoch_pool.push(EpochBatch::with_capacity(epoch_len));
     }
-    let plan = ParsePlan { workers, epoch_len, route_slots, shards };
+    let plan = ParsePlan { workers, epoch_len, route_slots, shards, keyed: directory.is_some() };
     let mut out_lanes = Vec::with_capacity(workers);
     let mut return_lanes = Vec::with_capacity(workers);
     let mut handles = Vec::with_capacity(workers);
@@ -187,7 +192,7 @@ pub(crate) fn run<'scope, 'env>(
                 next_update += 1;
             }
             let slot = &mut arena.slots[i];
-            resolve_and_count(slot, seen, windows);
+            resolve_and_count(slot, seen, windows, directory.as_mut());
             let shard = slot.shard as usize;
             steer.slot(shard).clone_from(&slot.prepared);
             if !steer.commit(shard) {

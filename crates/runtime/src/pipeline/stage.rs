@@ -55,10 +55,15 @@ pub(crate) struct ParsePlan {
     /// Packets per epoch.
     pub epoch_len: usize,
     /// Register-slot count the routing hash folds through
-    /// (`crate::runtime::shard_of`'s `flow_slots`).
+    /// (`crate::runtime::shard_of`'s `flow_slots`); the bucket count in
+    /// keyed mode.
     pub route_slots: usize,
     /// Engine shard count.
     pub shards: usize,
+    /// Keyed flow table active: flow starts resolve by table miss on
+    /// the merge stage, so the epoch-local candidate filter is dead
+    /// weight — workers skip it entirely.
+    pub keyed: bool,
 }
 
 /// The parse-worker loop: parse epochs `worker, worker+workers, …` of
@@ -84,7 +89,7 @@ pub(crate) fn parse_worker(
     out: &spsc::Sender<EpochBatch>,
     recycle: &spsc::Receiver<EpochBatch>,
 ) -> Vec<EpochBatch> {
-    let ParsePlan { workers, epoch_len, route_slots, shards } = plan;
+    let ParsePlan { workers, epoch_len, route_slots, shards, keyed } = plan;
     let epochs = epoch_count(packets.len(), epoch_len);
     // Epoch-local first-seen: cleared per epoch, capacity provisioned
     // once so steady-state epochs never reallocate it (an epoch holds
@@ -103,7 +108,7 @@ pub(crate) fn parse_worker(
             if arena.slots.len() == i {
                 arena.slots.push(ParsedSlot::default()); // first-run growth
             }
-            let candidate = epoch_seen.insert(tp.conn_id);
+            let candidate = !keyed && epoch_seen.insert(tp.conn_id);
             parse_packet(tp, &mut arena.slots[i], route_slots, shards, candidate);
         }
         arena.epoch = epoch as u64;

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use taurus_core::ingest::ObsBuilder;
 use taurus_core::ModelUpdate;
-use taurus_pisa::CrossFlowWindows;
+use taurus_pisa::{CrossFlowWindows, FlowTable};
 
 use crate::pipeline::epoch::ParsedSlot;
 use crate::runtime::PreparedPacket;
@@ -67,20 +67,35 @@ pub(crate) enum ShardMsg {
 /// global arrival order — this is the sequential heart the epoch merge
 /// exists to keep small.
 ///
-/// Bit-exactness argument: `candidate` is true only for the first
-/// packet of a connection within its epoch, and epochs partition the
-/// stream in order, so the first candidate of a connection across all
-/// epochs is exactly the connection's first packet — `mark_seen` then
-/// returns precisely what the sequential builder's per-packet insert
-/// would have. Non-candidates short-circuit without touching the set.
-/// With identical flow-start bits, feeding the same [`CrossFlowWindows`]
-/// in the same order yields identical counts.
+/// Bit-exactness argument (direct-mapped, `directory` = `None`):
+/// `candidate` is true only for the first packet of a connection within
+/// its epoch, and epochs partition the stream in order, so the first
+/// candidate of a connection across all epochs is exactly the
+/// connection's first packet — `mark_seen` then returns precisely what
+/// the sequential builder's per-packet insert would have.
+/// Non-candidates short-circuit without touching the set. With
+/// identical flow-start bits, feeding the same [`CrossFlowWindows`] in
+/// the same order yields identical counts.
+///
+/// With a keyed `directory` the flow-start bit is table-miss semantics
+/// instead: one access on the shared set-associative [`FlowTable`], in
+/// the same global order the replicas will see, so every ingest mode
+/// resolves the identical start bit from the identical table state. The
+/// epoch-local `candidate` bit is ignored (parse workers don't compute
+/// it in keyed mode) and the unbounded seen-set is never touched.
 pub fn resolve_and_count(
     slot: &mut ParsedSlot,
     seen: &mut ObsBuilder,
     windows: &mut CrossFlowWindows,
+    directory: Option<&mut FlowTable>,
 ) {
-    let is_start = slot.candidate && seen.mark_seen(slot.conn_id) && slot.start_flags_ok;
+    let is_start = match directory {
+        Some(dir) => {
+            let (_, access) = dir.access(slot.prepared.obs.flow_key, slot.prepared.obs.ts_ns);
+            access.is_start()
+        }
+        None => slot.candidate && seen.mark_seen(slot.conn_id) && slot.start_flags_ok,
+    };
     slot.prepared.obs.is_flow_start = is_start;
     let (dst, srv) = windows.observe(&slot.prepared.obs);
     slot.prepared.dst_count = dst;
@@ -259,7 +274,7 @@ mod tests {
 
                     let candidate = epoch_seen.insert(tp.conn_id);
                     parse_packet(tp, &mut slot, cfg.flow_slots, 4, candidate);
-                    resolve_and_count(&mut slot, &mut merge_builder, &mut merge_windows);
+                    resolve_and_count(&mut slot, &mut merge_builder, &mut merge_windows, None);
                     assert_eq!(slot.prepared.obs, golden_obs, "epoch_len={epoch_len}");
                     assert_eq!((slot.prepared.dst_count, slot.prepared.srv_count), (gd, gs));
                 }
@@ -279,10 +294,32 @@ mod tests {
         // Not a candidate: even a never-seen connection must not be
         // marked seen (its candidate packet comes earlier in the epoch).
         parse_packet(tp, &mut slot, cfg.flow_slots, 1, false);
-        resolve_and_count(&mut slot, &mut builder, &mut windows);
+        resolve_and_count(&mut slot, &mut builder, &mut windows, None);
         assert!(!slot.prepared.obs.is_flow_start);
         // The connection is still unseen: its real candidate resolves.
         assert!(builder.mark_seen(tp.conn_id), "set untouched by the non-candidate");
         let _ = flow_start_flags_ok(tp);
+    }
+
+    #[test]
+    fn keyed_resolution_is_table_miss_semantics_and_ignores_candidates() {
+        let records = KddGenerator::new(75).take(60);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let cfg = PipelineConfig::default();
+        let mut builder = ObsBuilder::untracked();
+        let mut windows = CrossFlowWindows::new(cfg.flow_slots, cfg.window_ns);
+        let mut directory = FlowTable::keyed(64, 4, 0);
+        let mut oracle = FlowTable::keyed(64, 4, 0);
+        let mut slot = ParsedSlot::default();
+        for tp in &trace.packets {
+            // Candidate bit deliberately false for every packet: the
+            // keyed path must not consult it.
+            parse_packet(tp, &mut slot, cfg.flow_slots, 2, false);
+            resolve_and_count(&mut slot, &mut builder, &mut windows, Some(&mut directory));
+            let (_, access) = oracle.access(slot.prepared.obs.flow_key, tp.ts_ns);
+            assert_eq!(slot.prepared.obs.is_flow_start, access.is_start());
+        }
+        assert!(directory.occupancy() > 0, "the directory tracked the feed");
+        assert_eq!(directory, oracle, "one access per packet, same order");
     }
 }

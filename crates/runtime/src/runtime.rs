@@ -30,6 +30,17 @@
 //!    candidates so the merge stage probes the seen-set once per
 //!    (connection, epoch) instead of once per packet.
 //!
+//! With a **keyed** flow table
+//! ([`taurus_pisa::FlowTableKind::Keyed`]) the same argument holds
+//! with "register slot" replaced by "bucket": packets are routed by
+//! `bucket % shards`, every replica keeps the full `buckets × ways`
+//! table, so displacement and replacement decisions — which only ever
+//! involve occupants of one bucket — stay shard-local and
+//! geometry-invariant. Flow starts come from table-miss semantics,
+//! resolved in global arrival order by a shared ingest-side directory
+//! (the same [`taurus_pisa::FlowTable`] geometry), which replaces the
+//! unbounded per-connection seen-set with bounded state.
+//!
 //! Workers therefore run pure flow-local computation (MATs + MapReduce
 //! inference — the expensive part) in parallel, and the merged report
 //! equals the sequential switch's report exactly. The determinism test
@@ -47,9 +58,9 @@ use taurus_core::{
 use taurus_dataset::trace::{PacketTrace, TracePacket};
 use taurus_ml::BinaryMetrics;
 use taurus_pisa::registers::PacketObs;
-use taurus_pisa::{CrossFlowWindows, Packet, PipelineConfig};
+use taurus_pisa::{CrossFlowWindows, FlowTable, FlowTableKind, Packet, PipelineConfig};
 
-use crate::service::StreamingRuntime;
+use crate::service::{IngestPlan, StreamingRuntime};
 
 /// One packet as it crosses an ingest→worker channel: the wire packet,
 /// its register-stage observation, and the globally ordered cross-flow
@@ -377,8 +388,22 @@ impl<'a> RuntimeBuilder<'a> {
         }
         // Routing folds flow keys through the replicas' register
         // capacity so register collisions stay shard-local for any
-        // shard count (see `shard_of`).
-        let route_slots = self.shard_flow_slots.unwrap_or(self.config.flow_slots);
+        // shard count (see `shard_of`). Keyed mode routes by *bucket*
+        // instead — every occupant of a bucket shares a shard, so the
+        // bucket-local replacement decisions stay shard-local too — and
+        // builds the shared ingest-side flow directory that resolves
+        // flow starts by table-miss semantics.
+        let (route_slots, directory) = match self.config.flow_table {
+            FlowTableKind::DirectMapped => {
+                (self.shard_flow_slots.unwrap_or(self.config.flow_slots), None)
+            }
+            FlowTableKind::Keyed { buckets, ways } => {
+                if buckets == 0 || ways == 0 {
+                    return Err(BuildError::NoFlowSlots);
+                }
+                (buckets, Some(FlowTable::keyed(buckets, ways, self.config.idle_timeout_ns)))
+            }
+        };
         if route_slots == 0 {
             return Err(BuildError::NoFlowSlots);
         }
@@ -395,7 +420,17 @@ impl<'a> RuntimeBuilder<'a> {
             // where parse stops being the bottleneck.
             cores.saturating_sub(self.shards + 1).min(4)
         });
-        let replica_config = PipelineConfig { flow_slots: route_slots, ..self.config.clone() };
+        // Direct-mapped replicas size their registers to the routed slot
+        // count (the `shard_flow_slots` override). Keyed replicas keep
+        // the configured bucket × way geometry verbatim — every shard
+        // hosts the full table, which is what keeps eviction decisions
+        // geometry-invariant.
+        let replica_config = match self.config.flow_table {
+            FlowTableKind::DirectMapped => {
+                PipelineConfig { flow_slots: route_slots, ..self.config.clone() }
+            }
+            FlowTableKind::Keyed { .. } => self.config.clone(),
+        };
         let switches = (0..self.shards)
             .map(|_| {
                 self.apps
@@ -410,10 +445,13 @@ impl<'a> RuntimeBuilder<'a> {
             switches,
             self.batch_size,
             self.queue_depth,
-            parse_workers,
-            self.epoch_len,
-            route_slots,
-            CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
+            IngestPlan {
+                parse_workers,
+                epoch_len: self.epoch_len,
+                route_slots,
+                windows: CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
+                directory,
+            },
         ))
     }
 }
@@ -488,6 +526,22 @@ impl RuntimeReport {
     /// [`PipelineConfig::idle_timeout_ns`] is set.
     pub fn evictions(&self) -> u64 {
         self.merged.evictions
+    }
+
+    /// Flow-table capacity evictions across all shards: a full bucket
+    /// displacing its oldest occupant to admit a new flow. Only the
+    /// keyed table evicts on capacity, so this is always 0 direct-mapped
+    /// — and, because replacement is bucket-local and every replica
+    /// hosts the full table, the sum is invariant across shard and
+    /// parse-worker geometries.
+    pub fn capacity_evictions(&self) -> u64 {
+        self.merged.capacity_evictions
+    }
+
+    /// Occupied flow-table entries across all shards at report time
+    /// (keyed mode; 0 when direct-mapped tracking is disabled).
+    pub fn flow_occupancy(&self) -> u64 {
+        self.merged.flow_occupancy
     }
 }
 

@@ -50,7 +50,7 @@ use taurus_core::ingest::{to_packet_into, ObsBuilder};
 use taurus_core::{ModelUpdate, SwitchReport, TaurusSwitch, UpdateError};
 use taurus_dataset::trace::{PacketTrace, TracePacket};
 use taurus_ml::BinaryMetrics;
-use taurus_pisa::{CrossFlowWindows, Verdict};
+use taurus_pisa::{CrossFlowWindows, FlowTable, Verdict};
 
 use crate::pipeline::epoch::EpochBatch;
 use crate::pipeline::steer::{Batch, ShardMsg, SteerState, Steering};
@@ -218,6 +218,11 @@ pub struct StreamingRuntime {
     route_slots: usize,
     obs_builder: ObsBuilder,
     windows: CrossFlowWindows,
+    /// Keyed mode's shared ingest-side flow directory: the same
+    /// set-associative [`FlowTable`] geometry as every replica, run in
+    /// global arrival order so flow starts resolve by table-miss
+    /// semantics with bounded state (`None` direct-mapped).
+    directory: Option<FlowTable>,
     /// Resident per-shard staging arenas (see `pipeline::steer`).
     steer: SteerState,
     /// Cross-feed pool of steer→engine batch arenas, provisioned once
@@ -235,6 +240,17 @@ pub struct StreamingRuntime {
     versions: Vec<(String, u64)>,
 }
 
+/// Ingest-side plan handed from the builder to the resident service:
+/// pipeline geometry, routing modulus, the shared cross-flow windows,
+/// and (keyed mode) the ingest-side flow directory.
+pub(crate) struct IngestPlan {
+    pub(crate) parse_workers: usize,
+    pub(crate) epoch_len: usize,
+    pub(crate) route_slots: usize,
+    pub(crate) windows: CrossFlowWindows,
+    pub(crate) directory: Option<FlowTable>,
+}
+
 impl StreamingRuntime {
     /// Spawns the resident workers, each owning one replica. Called by
     /// the builder after validation.
@@ -242,11 +258,9 @@ impl StreamingRuntime {
         switches: Vec<TaurusSwitch>,
         batch_size: usize,
         queue_depth: usize,
-        parse_workers: usize,
-        epoch_len: usize,
-        route_slots: usize,
-        windows: CrossFlowWindows,
+        ingest: IngestPlan,
     ) -> Self {
+        let IngestPlan { parse_workers, epoch_len, route_slots, windows, directory } = ingest;
         let shards = switches.len();
         // Provision the recycle pool up front: a shard's buffer cycle
         // peaks at `queue_depth + 3` buffers (staging + in-flight +
@@ -295,8 +309,15 @@ impl StreamingRuntime {
             parse_workers,
             epoch_len,
             route_slots,
-            obs_builder: ObsBuilder::new(),
+            // With a keyed directory, flow starts are table-miss
+            // semantics: the builder keeps no seen-set at all.
+            obs_builder: if directory.is_some() {
+                ObsBuilder::untracked()
+            } else {
+                ObsBuilder::new()
+            },
             windows,
+            directory,
             steer,
             batch_pool,
             epoch_pool: Vec::new(),
@@ -367,6 +388,7 @@ impl StreamingRuntime {
                 epoch_pool,
                 obs_builder,
                 windows,
+                directory,
                 position,
                 ..
             } = self;
@@ -387,7 +409,14 @@ impl StreamingRuntime {
                         }
                         next_update += 1;
                     }
-                    let obs = obs_builder.observe(tp);
+                    let mut obs = obs_builder.observe(tp);
+                    if let Some(dir) = directory.as_mut() {
+                        // Keyed mode: the directory access *is* the
+                        // flow-start decision — a miss (or an eviction
+                        // reopening the slot) starts a flow.
+                        let (_, access) = dir.access(obs.flow_key, obs.ts_ns);
+                        obs.is_flow_start = access.is_start();
+                    }
                     let (dst_count, srv_count) = windows.observe(&obs);
                     let shard = shard_of(obs.flow_key, route_slots, shards);
                     // Rewrite a recycled slot in place.
@@ -424,6 +453,7 @@ impl StreamingRuntime {
                             updates: &updates,
                             seen: obs_builder,
                             windows,
+                            directory,
                             steer,
                             batch_pool,
                             epoch_pool,
@@ -633,6 +663,9 @@ impl StreamingRuntime {
         }
         self.obs_builder.reset();
         self.windows.clear();
+        if let Some(dir) = &mut self.directory {
+            dir.clear();
+        }
     }
 }
 

@@ -24,6 +24,7 @@ use taurus_core::apps::{AnomalyDetector, SynFloodDetector};
 use taurus_core::EngineBackend;
 use taurus_dataset::kdd::KddGenerator;
 use taurus_dataset::trace::{PacketTrace, TraceConfig};
+use taurus_pisa::{FlowTableKind, PipelineConfig};
 use taurus_runtime::{RuntimeBuilder, ShardedRuntime};
 
 struct CountingAlloc;
@@ -170,6 +171,58 @@ fn resident_service_feeds_allocate_nothing_after_the_first() {
     assert_eq!(third, 0, "feed three allocated {third} times");
     let report = service.shutdown();
     assert_eq!(report.merged.packets, 3 * single.packets.len() as u64, "every feed processed");
+}
+
+#[test]
+fn keyed_resident_service_feeds_allocate_nothing_after_the_first() {
+    // The keyed table's bounded-state claim, enforced by the allocator:
+    // a warmed keyed-mode feed — directory accesses, miss-driven flow
+    // starts, per-entry counter updates, bucket-local replacement under
+    // pressure (16 entries vs hundreds of connections) — performs ZERO
+    // heap allocations. Nothing in the keyed hot path may grow with the
+    // stream; this is exactly what deleting the seen-set bought.
+    let syn = SynFloodDetector::default_deployment();
+    let single = trace(400, 55);
+    let mut service = RuntimeBuilder::new()
+        .shards(2)
+        .batch_size(32)
+        .parse_workers(0)
+        .config(PipelineConfig {
+            flow_table: FlowTableKind::Keyed { buckets: 8, ways: 2 },
+            ..PipelineConfig::default()
+        })
+        .register_on(&syn, EngineBackend::Threshold)
+        .build_streaming();
+    service.feed(&single.packets);
+    let second = allocations_in(|| {
+        service.feed(&single.packets);
+    });
+    assert_eq!(second, 0, "a warmed keyed feed must be allocation-free, allocated {second}");
+    let report = service.shutdown();
+    assert_eq!(report.merged.packets, 2 * single.packets.len() as u64);
+    assert!(report.capacity_evictions() > 0, "the feed ran under replacement pressure");
+}
+
+#[test]
+fn keyed_pipelined_ingest_allocates_independent_of_stream_length() {
+    // Keyed mode through the parallel pipeline: parse workers skip the
+    // candidate filter, the merge stage drives the shared directory —
+    // doubling the stream doubles directory accesses and replacement
+    // decisions, none of which may allocate.
+    let syn = SynFloodDetector::default_deployment();
+    let single = trace(400, 56);
+    let rt = RuntimeBuilder::new()
+        .shards(2)
+        .batch_size(32)
+        .parse_workers(2)
+        .epoch_len(64)
+        .config(PipelineConfig {
+            flow_table: FlowTableKind::Keyed { buckets: 64, ways: 4 },
+            ..PipelineConfig::default()
+        })
+        .register_on(&syn, EngineBackend::Threshold)
+        .build();
+    assert_scale_invariant(rt, &single, "keyed pipelined threshold x2 (2 parse workers)");
 }
 
 #[test]

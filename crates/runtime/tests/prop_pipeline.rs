@@ -64,7 +64,7 @@ proptest! {
 
                 let candidate = epoch_seen.insert(tp.conn_id);
                 parse_packet(tp, &mut slot, cfg.flow_slots, shards, candidate);
-                resolve_and_count(&mut slot, &mut merge_builder, &mut merge_windows);
+                resolve_and_count(&mut slot, &mut merge_builder, &mut merge_windows, None);
 
                 prop_assert_eq!(
                     slot.prepared.obs, golden_obs,
