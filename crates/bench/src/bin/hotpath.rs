@@ -44,6 +44,16 @@
 //! never does (it is part of the channel overhead, not the sequential
 //! total).
 //!
+//! An **update-interference** measurement prices the control plane
+//! against the data plane (§5.2.3: Taurus installs models while the
+//! switch serves): the same trace through a 2-shard streaming service,
+//! once quiet and once with a live `install_update` barrier between
+//! every chunk. Same-cutoff retunes keep the two runs verdict-identical
+//! (cross-checked), so the delta is pure control-plane cost; the gate
+//! (`TAURUS_HOTPATH_UPDATE_MIN_RATIO`, runs in `--smoke` too since it
+//! is a same-run relative floor) catches an install path that starts
+//! stalling the stream.
+//!
 //! `results/BENCH_hotpath.json` is the tracked trajectory artifact: an
 //! **append-only array** with one entry per recorded run (workload,
 //! packets, per-roster rates, breakdown, and a run label from
@@ -315,6 +325,77 @@ fn measure_breakdown(
     }
 }
 
+struct UpdateInterference {
+    installs: u64,
+    quiet_pps: f64,
+    busy_pps: f64,
+    installs_per_sec: f64,
+    /// busy rate / quiet rate — 1.0 means installs are free.
+    retention: f64,
+}
+
+/// Prices live model installs against a sustained packet stream: the
+/// same trace through a 2-shard streaming threshold roster, once with
+/// no control traffic and once with an `install_update` barrier
+/// between every chunk. The retunes keep the incumbent cutoff, so the
+/// two runs must produce the same merged report bit for bit — the
+/// wall-clock delta is pure control-plane interference.
+fn measure_update_interference(
+    syn: &SynFloodDetector,
+    trace: &PacketTrace,
+    installs: usize,
+) -> UpdateInterference {
+    let build = || {
+        RuntimeBuilder::new()
+            .shards(2)
+            .batch_size(1024)
+            .register_on(syn, EngineBackend::Threshold)
+            .build_streaming()
+    };
+    let chunk = trace.packets.len().div_ceil(installs + 1).max(1);
+
+    let mut quiet = build();
+    quiet.run_trace(trace); // warm-up: registers, batch pool
+    quiet.reset();
+    let t0 = Instant::now();
+    for c in trace.packets.chunks(chunk) {
+        quiet.feed(c);
+    }
+    let quiet_report = quiet.drain();
+    let quiet_secs = t0.elapsed().as_secs_f64();
+
+    let mut busy = build();
+    busy.run_trace(trace);
+    busy.reset();
+    let t0 = Instant::now();
+    let mut version = 0u64;
+    for c in trace.packets.chunks(chunk) {
+        busy.feed(c);
+        if version < installs as u64 {
+            version += 1;
+            // Same cutoff as the incumbent: a version bump with
+            // identical verdict behavior.
+            busy.install_update(&syn.retune(40, version, EngineBackend::Threshold))
+                .expect("fresh version");
+        }
+    }
+    let busy_report = busy.drain();
+    let busy_secs = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        busy_report.merged, quiet_report.merged,
+        "same-cutoff retunes must not change a single verdict"
+    );
+    let n = trace.packets.len() as f64;
+    UpdateInterference {
+        installs: version,
+        quiet_pps: n / quiet_secs,
+        busy_pps: n / busy_secs,
+        installs_per_sec: version as f64 / busy_secs,
+        retention: quiet_secs / busy_secs,
+    }
+}
+
 fn roster_json(r: &RosterResult, baseline_pps: f64) -> Json {
     Json::Object(vec![
         ("baseline_seq_pps", Json::Float(baseline_pps)),
@@ -524,6 +605,19 @@ fn main() {
         ],
     );
 
+    let interference = measure_update_interference(&syn, &trace, if smoke { 8 } else { 32 });
+    print_table(
+        "Live update interference (threshold roster, 2 shards, streaming)",
+        &["metric", "value"],
+        &[
+            vec!["installs during stream".into(), interference.installs.to_string()],
+            vec!["quiet pkts/s".into(), f(interference.quiet_pps, 0)],
+            vec!["busy pkts/s".into(), f(interference.busy_pps, 0)],
+            vec!["installs/s sustained".into(), f(interference.installs_per_sec, 1)],
+            vec!["throughput retention".into(), f(interference.retention, 2)],
+        ],
+    );
+
     let probe_hist =
         keyed_report.probe_hist.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" / ");
     let keyed_ratio = keyed.seq_pps / threshold.seq_pps;
@@ -600,6 +694,16 @@ fn main() {
                     ]),
                 ),
                 ("breakdown", breakdown_json(&breakdown)),
+                (
+                    "update_interference",
+                    Json::Object(vec![
+                        ("installs", Json::UInt(interference.installs)),
+                        ("quiet_pps", Json::Float(interference.quiet_pps)),
+                        ("busy_pps", Json::Float(interference.busy_pps)),
+                        ("installs_per_sec", Json::Float(interference.installs_per_sec)),
+                        ("throughput_retention", Json::Float(interference.retention)),
+                    ]),
+                ),
             ]);
             let dir = std::path::Path::new("results");
             let _ = std::fs::create_dir_all(dir);
@@ -669,4 +773,22 @@ fn main() {
             ),
         }
     }
+
+    // Update-interference gate (both modes): a same-run relative floor,
+    // immune to hardware-class drift. An install is a fleet-wide
+    // barrier, so dozens of them cost *something*; the floor exists to
+    // catch the install path regressing into a stream-stalling wait
+    // (retention sliding toward 0), not to price the barrier exactly.
+    let update_min = std::env::var("TAURUS_HOTPATH_UPDATE_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.2);
+    assert!(
+        interference.retention >= update_min,
+        "update-interference regression: {} live installs drop streaming throughput to {:.2}x \
+         the quiet rate (gate: >={update_min:.2}x; retarget with \
+         TAURUS_HOTPATH_UPDATE_MIN_RATIO if the trade-off is intentional)",
+        interference.installs,
+        interference.retention
+    );
 }

@@ -129,6 +129,16 @@ pub trait TaurusApp {
     /// Creates a fresh feature formatter for one hosted pipeline.
     fn formatter(&self) -> FeatureFormatter;
 
+    /// A factory that can rebuild this app's formatter later, enabling
+    /// bit-exact rollback ([`crate::switch::TaurusSwitch::capture_rollback`]
+    /// needs to re-create the formatter that was active at capture
+    /// time). Defaults to `None`: such apps still install and update
+    /// normally but cannot anchor a rollback point until an installed
+    /// [`crate::update::ModelUpdate`] carries a factory.
+    fn formatter_factory(&self) -> Option<crate::update::FormatterFactory> {
+        None
+    }
+
     /// Preprocessing MATs (bypass decision, metadata). Defaults to the
     /// standard only-TCP/UDP-visit-the-model selection.
     fn pre_tables(&self) -> Vec<MatchTable> {

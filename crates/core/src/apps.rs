@@ -256,6 +256,19 @@ impl TaurusApp for AnomalyDetector {
         })
     }
 
+    fn formatter_factory(&self) -> Option<FormatterFactory> {
+        let standardizer = self.standardizer.clone();
+        let params = self.quantized.input_params();
+        Some(Arc::new(move || {
+            let standardizer = standardizer.clone();
+            Box::new(move |f: &taurus_pisa::registers::FlowFeatures, out: &mut Vec<i32>| {
+                let mut row = f.encode_dnn6();
+                standardizer.apply_row(&mut row);
+                out.extend(row.iter().map(|&v| i32::from(params.quantize(v))));
+            })
+        }))
+    }
+
     fn post_tables(&self, backend: EngineBackend) -> Vec<MatchTable> {
         match backend {
             // The compiled DNN emits sigmoid codes; drop at quantized 0.5.
@@ -379,6 +392,20 @@ impl TaurusApp for SynFloodDetector {
                 f.packets.min(127) as i32,
             ]);
         })
+    }
+
+    fn formatter_factory(&self) -> Option<FormatterFactory> {
+        // The formatter is stateless, so the factory just re-creates it.
+        Some(Arc::new(|| {
+            Box::new(|f: &taurus_pisa::registers::FlowFeatures, out: &mut Vec<i32>| {
+                out.extend_from_slice(&[
+                    f.syn_only.min(127) as i32,
+                    f.dst_count.min(127) as i32,
+                    f.srv_count.min(127) as i32,
+                    f.packets.min(127) as i32,
+                ]);
+            })
+        }))
     }
 
     fn pre_tables(&self) -> Vec<MatchTable> {

@@ -68,4 +68,4 @@ pub use switch::{
     AppCounters, AppReport, DuplicateAppError, ReportMergeError, SwitchBuilder, SwitchReport,
     SwitchResult, SwitchVerdict, TaurusSwitch,
 };
-pub use update::{EngineUpdate, FormatterFactory, ModelUpdate, UpdateError};
+pub use update::{EngineUpdate, FormatterFactory, ModelUpdate, RollbackPoint, UpdateError};

@@ -17,7 +17,7 @@ use crate::app::{BoxedEngine, EngineBackend, ReactionTime, TaurusApp, VerdictPol
 use crate::apps::AnomalyDetector;
 use crate::engine::CgraEngine;
 use crate::ingest::{to_packet, ObsBuilder};
-use crate::update::{EngineUpdate, ModelUpdate, UpdateError};
+use crate::update::{EngineUpdate, FormatterFactory, ModelUpdate, RollbackPoint, UpdateError};
 
 /// Per-app counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -208,6 +208,12 @@ struct HostedApp {
     /// Installed model version: 0 for the build-time model, then the
     /// version of the last [`ModelUpdate`] applied.
     version: u64,
+    /// Factory that can rebuild the *currently active* formatter:
+    /// seeded from [`TaurusApp::formatter_factory`] at registration and
+    /// replaced whenever an installed update carries a formatter. `None`
+    /// means the active formatter is a one-off closure a rollback point
+    /// cannot restore.
+    formatter_origin: Option<FormatterFactory>,
 }
 
 /// Builds a [`TaurusSwitch`]: configuration, engine backend selection,
@@ -257,6 +263,7 @@ struct RegisteredApp {
     feature_count: usize,
     engine: BoxedEngine,
     formatter: crate::app::FeatureFormatter,
+    formatter_origin: Option<FormatterFactory>,
     pre_tables: Vec<taurus_pisa::mat::MatchTable>,
     post_tables: Vec<taurus_pisa::mat::MatchTable>,
 }
@@ -329,6 +336,7 @@ impl SwitchBuilder {
             feature_count: app.feature_count(),
             engine: app.build_engine(backend),
             formatter: app.formatter(),
+            formatter_origin: app.formatter_factory(),
             pre_tables: app.pre_tables(),
             post_tables: app.post_tables(backend),
         });
@@ -360,6 +368,7 @@ impl SwitchBuilder {
                     pipeline,
                     counters: AppCounters::default(),
                     version: 0,
+                    formatter_origin: r.formatter_origin,
                 }
             })
             .collect();
@@ -597,11 +606,110 @@ impl TaurusSwitch {
         }
         if let Some(factory) = &update.formatter {
             app.pipeline.set_formatter(factory());
+            app.formatter_origin = Some(FormatterFactory::clone(factory));
         }
         if let Some(tables) = &update.post_tables {
             app.pipeline.post_tables = tables.clone();
         }
         app.version = update.version;
+        Ok(())
+    }
+
+    /// Captures everything needed to restore one hosted app to its
+    /// current model, bit-exactly — taken just before a risky install
+    /// (a canary) so [`TaurusSwitch::rollback_to`] can undo it.
+    ///
+    /// The capture is cheap: compiled programs are shared by `Arc`,
+    /// thresholds are plain values, MATs are small tables, and the
+    /// formatter is captured as the factory it was built from rather
+    /// than by copying the (uncloneable) closure.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::UnknownApp`] when no hosted app matches;
+    /// [`UpdateError::UnrestorableFormatter`] when the app's active
+    /// formatter has no factory (the app returns `None` from
+    /// [`TaurusApp::formatter_factory`] and no installed update carried
+    /// one) — restoring it later would be impossible.
+    pub fn capture_rollback(&mut self, app_name: &str) -> Result<RollbackPoint, UpdateError> {
+        let app = self
+            .apps
+            .iter_mut()
+            .find(|a| a.name == app_name)
+            .ok_or_else(|| UpdateError::UnknownApp { app: app_name.to_string() })?;
+        let formatter = app
+            .formatter_origin
+            .clone()
+            .ok_or_else(|| UpdateError::UnrestorableFormatter { app: app_name.to_string() })?;
+        let engine = app.pipeline.engine_mut().as_mut().as_any_mut();
+        let engine = if let Some(cgra) = engine.downcast_mut::<CgraEngine>() {
+            EngineUpdate::Program(std::sync::Arc::clone(cgra.sim().program()))
+        } else if let Some(e) = engine.downcast_mut::<taurus_pisa::pipeline::ThresholdEngine>() {
+            EngineUpdate::Threshold(e.threshold)
+        } else if let Some(e) = engine.downcast_mut::<taurus_pisa::LinearThresholdEngine>() {
+            EngineUpdate::Threshold(e.threshold)
+        } else {
+            // An exotic engine backend we cannot snapshot: leave it
+            // alone on rollback (formatter/tables/version still restore).
+            EngineUpdate::KeepEngine
+        };
+        Ok(RollbackPoint {
+            app: app.name.clone(),
+            version: app.version,
+            engine,
+            formatter,
+            post_tables: app.pipeline.post_tables.clone(),
+        })
+    }
+
+    /// Restores one hosted app to a previously captured
+    /// [`RollbackPoint`]: engine state, formatter, postprocessing MATs,
+    /// and version all return to their capture-time values. Flow
+    /// registers, counters, and cross-flow windows are untouched — like
+    /// [`TaurusSwitch::install_update`], only the model interpreting
+    /// the features changes.
+    ///
+    /// Unlike installs, rollback deliberately *rewinds* the version
+    /// counter: a canary that installed v5 and rolled back reports the
+    /// prior version again, so the control plane can re-offer a fixed
+    /// v6 later without tripping the stale-version guard on replicas
+    /// that never saw v5.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::UnknownApp`] when no hosted app matches the
+    /// point's app, [`UpdateError::BackendMismatch`] when the captured
+    /// engine state does not fit the hosted engine (only possible if
+    /// the point came from a differently configured switch). Both leave
+    /// the switch untouched.
+    pub fn rollback_to(&mut self, point: &RollbackPoint) -> Result<(), UpdateError> {
+        let app = self
+            .apps
+            .iter_mut()
+            .find(|a| a.name == point.app)
+            .ok_or_else(|| UpdateError::UnknownApp { app: point.app.clone() })?;
+        let engine = app.pipeline.engine_mut().as_mut().as_any_mut();
+        match &point.engine {
+            EngineUpdate::Program(program) => match engine.downcast_mut::<CgraEngine>() {
+                Some(cgra) => cgra.swap_program(std::sync::Arc::clone(program)),
+                None => return Err(UpdateError::BackendMismatch { app: app.name.clone() }),
+            },
+            EngineUpdate::Threshold(t) => {
+                if let Some(e) = engine.downcast_mut::<taurus_pisa::pipeline::ThresholdEngine>() {
+                    e.threshold = *t;
+                } else if let Some(e) = engine.downcast_mut::<taurus_pisa::LinearThresholdEngine>()
+                {
+                    e.threshold = *t;
+                } else {
+                    return Err(UpdateError::BackendMismatch { app: app.name.clone() });
+                }
+            }
+            EngineUpdate::KeepEngine => {}
+        }
+        app.pipeline.set_formatter((point.formatter)());
+        app.formatter_origin = Some(FormatterFactory::clone(&point.formatter));
+        app.pipeline.post_tables = point.post_tables.clone();
+        app.version = point.version;
         Ok(())
     }
 
@@ -884,6 +992,68 @@ mod tests {
         assert_eq!(err, UpdateError::BackendMismatch { app: "syn-flood".into() });
         assert_eq!(switch.app_version("syn-flood"), Some(2), "failed install mutated nothing");
         assert!(err.to_string().contains("different engine backend"), "{err}");
+    }
+
+    #[test]
+    fn rollback_round_trip_is_bit_exact_against_a_never_updated_control() {
+        use taurus_ml::TrainParams;
+
+        // Golden round-trip: capture → install a retrained model →
+        // rollback, then verify the switch is indistinguishable from a
+        // control switch that never installed anything — per-packet
+        // SwitchResults included, not just counters.
+        let detector = AnomalyDetector::train_default(41, 1_200);
+        let mut subject = TaurusSwitch::new(&detector);
+        let mut control = TaurusSwitch::new(&detector);
+
+        let mut retrained = detector.float_model.clone();
+        let mut gen = KddGenerator::new(42);
+        let mut ds = gen.binary_dataset(400, taurus_dataset::kdd::FeatureView::Dnn6);
+        detector.standardizer.apply(&mut ds);
+        retrained.train(
+            ds.features(),
+            ds.labels(),
+            &TrainParams { epochs: 5, ..TrainParams::default() },
+        );
+        let update = detector.prepare_update(&retrained, ds.features(), 1);
+
+        let records = KddGenerator::new(43).take(120);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let (probation, suffix) = trace.packets.split_at(trace.packets.len() / 2);
+
+        let point = subject.capture_rollback("anomaly-detection").expect("capturable");
+        subject.install_update(&update).expect("canary install");
+        assert_eq!(subject.app_version("anomaly-detection"), Some(1));
+        // Probation traffic runs under the new model on the subject and
+        // the old model on the control: flow registers advance
+        // identically (verdicts never feed back into flow state).
+        for tp in probation {
+            let _ = subject.process_trace_packet(tp);
+            let _ = control.process_trace_packet(tp);
+        }
+        subject.rollback_to(&point).expect("rollback restores");
+        assert_eq!(subject.app_version("anomaly-detection"), Some(0), "version rewinds");
+
+        // From here on the two switches must agree on *everything*.
+        for tp in suffix {
+            assert_eq!(subject.process_trace_packet(tp), control.process_trace_packet(tp));
+        }
+        // A second capture still works: rollback restored the factory.
+        let again = subject.capture_rollback("anomaly-detection").expect("still capturable");
+        assert_eq!(again.version, 0);
+    }
+
+    #[test]
+    fn capture_rollback_rejects_unknown_apps() {
+        let syn = SynFloodDetector::default_deployment();
+        let mut switch = SwitchBuilder::new().register_on(&syn, EngineBackend::Threshold).build();
+        let err = switch.capture_rollback("no-such-app").unwrap_err();
+        assert_eq!(err, crate::update::UpdateError::UnknownApp { app: "no-such-app".into() });
+        // Threshold-backend capture works and round-trips the cutoff.
+        let point = switch.capture_rollback("syn-flood").expect("threshold capture");
+        switch.install_update(&syn.retune(999, 7, EngineBackend::Threshold)).expect("retune");
+        switch.rollback_to(&point).expect("rollback");
+        assert_eq!(switch.app_version("syn-flood"), Some(0));
     }
 
     #[test]

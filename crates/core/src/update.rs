@@ -114,6 +114,43 @@ impl core::fmt::Debug for ModelUpdate {
     }
 }
 
+/// Everything needed to restore a hosted app to a prior model,
+/// bit-exactly: the engine state (program handle or threshold), the
+/// formatter factory the app was registered/updated with, the
+/// postprocessing MATs, and the version to report afterwards.
+///
+/// Captured by [`crate::switch::TaurusSwitch::capture_rollback`] just
+/// before a risky install (a canary) and replayed by
+/// [`crate::switch::TaurusSwitch::rollback_to`]. Restoration is exact
+/// because every piece is either shared-by-handle (`Arc<GridProgram>`),
+/// a value (`i64` threshold, MATs), or rebuilt from the same factory
+/// the original formatter came from — there is no lossy re-derivation.
+#[derive(Clone)]
+pub struct RollbackPoint {
+    /// The app this snapshot belongs to.
+    pub app: String,
+    /// Version to restore (rollback deliberately rewinds the version
+    /// counter, unlike installs which are strictly increasing).
+    pub version: u64,
+    /// Engine state to restore, in [`EngineUpdate`] form.
+    pub engine: EngineUpdate,
+    /// Factory for the formatter that was active at capture time.
+    pub formatter: FormatterFactory,
+    /// Postprocessing MATs active at capture time.
+    pub post_tables: Vec<MatchTable>,
+}
+
+impl core::fmt::Debug for RollbackPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RollbackPoint")
+            .field("app", &self.app)
+            .field("version", &self.version)
+            .field("engine", &self.engine)
+            .field("post_tables", &self.post_tables.len())
+            .finish()
+    }
+}
+
 /// Why a [`ModelUpdate`] could not be installed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateError {
@@ -137,6 +174,15 @@ pub enum UpdateError {
         /// The app.
         app: String,
     },
+    /// A rollback point was requested for an app whose formatter cannot
+    /// be rebuilt: the app provides no
+    /// [`crate::app::TaurusApp::formatter_factory`] and no installed
+    /// update ever carried one, so the active formatter is a one-off
+    /// closure that cannot be restored bit-exactly later.
+    UnrestorableFormatter {
+        /// The app.
+        app: String,
+    },
 }
 
 impl core::fmt::Display for UpdateError {
@@ -154,6 +200,11 @@ impl core::fmt::Display for UpdateError {
                 f,
                 "update for `{app}` targets a different engine backend than the hosted one \
                  (program swaps need a CGRA engine; threshold edits need a threshold engine)"
+            ),
+            UpdateError::UnrestorableFormatter { app } => write!(
+                f,
+                "app `{app}` cannot be rolled back: its active feature formatter has no \
+                 factory to rebuild it from (implement `TaurusApp::formatter_factory`)"
             ),
         }
     }

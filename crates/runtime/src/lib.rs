@@ -67,14 +67,19 @@
 //! [`SwitchReport`]: taurus_core::SwitchReport
 
 pub mod deploy;
+pub mod fault;
 pub mod pipeline;
 pub mod runtime;
 pub mod service;
 pub mod spsc;
 
 pub use deploy::{run_online_deployment, DeploymentConfig, DeploymentReport, DeploymentRound};
+pub use fault::{
+    canary_decision, CanaryDecision, CanaryGuardrails, CanaryVerdictRecord, FaultPlan, FaultRecord,
+    FaultRecordKind, FaultReport, InstallError, ShardError,
+};
 pub use pipeline::{epoch_count, parse_packet, resolve_and_count, EpochBatch, ParsedSlot};
 pub use runtime::{
     shard_of, BuildError, PreparedPacket, RuntimeBuilder, RuntimeReport, ShardStats, ShardedRuntime,
 };
-pub use service::StreamingRuntime;
+pub use service::{CanaryConfig, CanaryController, StreamingRuntime};

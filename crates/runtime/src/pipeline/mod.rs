@@ -185,13 +185,14 @@ pub(crate) fn run<'scope, 'env>(
             // this feed's first packet rather than never.
             let index = stream_base + arena.base + i as u64;
             while next_update < updates.len() && updates[next_update].0 <= index {
-                if !steer.flush_and_update(&updates[next_update].1) {
+                if steer.flush_and_update(&updates[next_update].1).is_err() {
                     epoch_pool.push(arena);
                     break 'merge;
                 }
                 next_update += 1;
             }
             let slot = &mut arena.slots[i];
+            slot.prepared.index = index;
             resolve_and_count(slot, seen, windows, directory.as_mut());
             let shard = slot.shard as usize;
             steer.slot(shard).clone_from(&slot.prepared);
@@ -215,8 +216,10 @@ pub(crate) fn run<'scope, 'env>(
     }
     // Feed boundary: the engines must observe every packet of this feed
     // now — a next feed (or the drain) may be far away. Updates beyond
-    // the feed's end stay pending; the drain installs the leftovers.
-    steer.flush_partials();
+    // the feed's end stay pending; the drain installs the leftovers. A
+    // dead shard here is diagnosed (and possibly recovered) at the
+    // runtime's next barrier, not mid-feed.
+    let _ = steer.flush_partials();
     // Close both lane directions: a worker blocked on an out-send (the
     // merge bailed early) or a recycle recv wakes up and exits.
     drop(out_lanes);

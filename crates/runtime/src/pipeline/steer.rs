@@ -23,9 +23,10 @@
 use std::sync::Arc;
 
 use taurus_core::ingest::ObsBuilder;
-use taurus_core::ModelUpdate;
+use taurus_core::{ModelUpdate, RollbackPoint};
 use taurus_pisa::{CrossFlowWindows, FlowTable};
 
+use crate::fault::ShardError;
 use crate::pipeline::epoch::ParsedSlot;
 use crate::runtime::PreparedPacket;
 use crate::spsc;
@@ -53,6 +54,27 @@ pub(crate) enum ShardMsg {
     /// panicking — the control-plane path behind
     /// `StreamingRuntime::install_update`.
     Install(Arc<ModelUpdate>),
+    /// Capture a rollback point for the update's app, then install the
+    /// update; reply `WorkerReply::Canary` with the point (or the
+    /// install error). In-band, so the canary model activates at one
+    /// exact global packet boundary on the canary shards.
+    CanaryInstall(Arc<ModelUpdate>),
+    /// Start a fresh metrics segment without installing anything — sent
+    /// to the shards a canary event does *not* touch, so every shard's
+    /// segment list stays element-wise aligned at every canary barrier.
+    MarkSegment,
+    /// Reply `WorkerReply::Metrics` with the last two segments'
+    /// confusion (previous, current) without resetting anything — the
+    /// probation read a canary verdict is computed from.
+    Metrics,
+    /// Restore the app captured in this rollback point; reply
+    /// `WorkerReply::Install` with the result. Starts a fresh segment
+    /// on success.
+    Rollback(Box<RollbackPoint>),
+    /// Install this update (a concluded canary promoting fleet-wide on
+    /// the control shards); reply `WorkerReply::Install`. Starts a
+    /// fresh segment on success.
+    Promote(Arc<ModelUpdate>),
     /// Snapshot per-run stats and the replica report, reply, and reset
     /// the per-run counters — the drain barrier. If the worker caught a
     /// panic earlier in the run, the reply carries the payload instead.
@@ -111,16 +133,23 @@ pub(crate) struct SteerState {
     /// Live slots per staging arena (slots beyond the fill are stale
     /// leftovers from the buffer's previous trip).
     fills: Vec<usize>,
-    /// An engine worker died; stop feeding and let the caller surface
-    /// its panic at join.
-    dead: bool,
+    /// The first engine worker found dead (its lane closed): stop
+    /// feeding and let the runtime diagnose/recover it at the next
+    /// barrier.
+    dead: Option<usize>,
 }
 
 impl SteerState {
     /// One staging arena per shard, drawn from the cross-run pool.
     pub fn new(shards: usize, pool: &mut Vec<Batch>) -> Self {
         let staging = (0..shards).map(|_| pool.pop().unwrap_or_default()).collect();
-        Self { staging, fills: vec![0; shards], dead: false }
+        Self { staging, fills: vec![0; shards], dead: None }
+    }
+
+    /// Clears the dead-shard latch (called after the runtime respawned
+    /// or retired the worker the latch pointed at).
+    pub fn clear_dead(&mut self) {
+        self.dead = None;
     }
 }
 
@@ -166,7 +195,7 @@ impl<'a> Steering<'a> {
     pub fn commit(&mut self, shard: usize) -> bool {
         self.state.fills[shard] += 1;
         if self.state.fills[shard] == self.batch_size {
-            self.flush(shard)
+            self.flush(shard).is_ok()
         } else {
             true
         }
@@ -185,52 +214,63 @@ impl<'a> Steering<'a> {
 
     /// Swaps `shard`'s staging arena out (truncating to its live slots)
     /// and sends it; the replacement comes from the recycle cycle.
-    fn flush(&mut self, shard: usize) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Dead`] when the shard's worker is gone (its lane
+    /// closed); the dead-shard latch is set.
+    fn flush(&mut self, shard: usize) -> Result<(), ShardError> {
         let replacement = self.take_buf(shard);
         let mut batch = std::mem::replace(&mut self.state.staging[shard], replacement);
         batch.truncate(self.state.fills[shard]);
         self.state.fills[shard] = 0;
         if self.senders[shard].send(ShardMsg::Batch(batch)).is_err() {
-            self.state.dead = true;
-            return false;
+            self.state.dead = Some(shard);
+            return Err(ShardError::Dead { shard });
         }
-        true
+        Ok(())
     }
 
     /// Flushes every staged partial batch, then enqueues the update
     /// in-band on every channel: the FIFO order guarantees each worker
-    /// applies it at exactly this global packet boundary. Returns
-    /// `false` — without enqueuing the update anywhere further — as
-    /// soon as a flush or an update send hits a dead shard: a partial
-    /// install would leave the fleet inconsistent, so the caller must
-    /// stop feeding and surface the worker's fate instead.
-    pub fn flush_and_update(&mut self, update: &Arc<ModelUpdate>) -> bool {
-        if !self.flush_partials() {
-            return false;
-        }
-        for tx in self.senders {
+    /// applies it at exactly this global packet boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Dead`] — without enqueuing the update anywhere
+    /// further — as soon as a flush or an update send hits a dead
+    /// shard: a partial install would leave the fleet inconsistent, so
+    /// the caller must stop feeding and let the runtime diagnose the
+    /// worker's fate at the next barrier instead.
+    pub fn flush_and_update(&mut self, update: &Arc<ModelUpdate>) -> Result<(), ShardError> {
+        self.flush_partials()?;
+        for (shard, tx) in self.senders.iter().enumerate() {
             if tx.send(ShardMsg::Update(Arc::clone(update))).is_err() {
-                self.state.dead = true;
-                return false;
+                self.state.dead = Some(shard);
+                return Err(ShardError::Dead { shard });
             }
         }
-        true
+        Ok(())
     }
 
     /// Flushes every non-empty staged partial batch (a barrier point:
     /// feed boundaries, update installs, drains), keeping the staging
-    /// arenas resident for the next packets. Returns `false` once a
-    /// shard is dead.
-    pub fn flush_partials(&mut self) -> bool {
-        if self.state.dead {
-            return false;
+    /// arenas resident for the next packets.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Dead`] naming the first dead shard (latched from
+    /// an earlier failure, or discovered by one of these flushes).
+    pub fn flush_partials(&mut self) -> Result<(), ShardError> {
+        if let Some(shard) = self.state.dead {
+            return Err(ShardError::Dead { shard });
         }
         for shard in 0..self.senders.len() {
-            if self.state.fills[shard] > 0 && !self.flush(shard) {
-                return false;
+            if self.state.fills[shard] > 0 {
+                self.flush(shard)?;
             }
         }
-        true
+        Ok(())
     }
 }
 

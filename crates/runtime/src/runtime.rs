@@ -49,18 +49,19 @@
 //! lengths and parse-worker counts.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use taurus_core::{
     DuplicateAppError, EngineBackend, ModelUpdate, SwitchBuilder, SwitchReport, TaurusApp,
-    UpdateError,
 };
 use taurus_dataset::trace::{PacketTrace, TracePacket};
 use taurus_ml::BinaryMetrics;
 use taurus_pisa::registers::PacketObs;
 use taurus_pisa::{CrossFlowWindows, FlowTable, FlowTableKind, Packet, PipelineConfig};
 
-use crate::service::{IngestPlan, StreamingRuntime};
+use crate::fault::{FaultPlan, FaultReport, InstallError};
+use crate::service::{IngestPlan, StreamingRuntime, SupervisePlan};
 
 /// One packet as it crosses an ingest→worker channel: the wire packet,
 /// its register-stage observation, and the globally ordered cross-flow
@@ -78,6 +79,11 @@ pub struct PreparedPacket {
     /// Trace ground truth, carried so workers can score deployed
     /// verdicts per model segment without a second pass.
     pub anomalous: bool,
+    /// Global stream index of this packet (monotone across feeds).
+    /// Carried so deterministic fault injection ([`crate::FaultPlan`])
+    /// can key on exact (shard, stream index) points inside the engine
+    /// workers.
+    pub index: u64,
 }
 
 impl Default for PreparedPacket {
@@ -89,6 +95,7 @@ impl Default for PreparedPacket {
             dst_count: 0,
             srv_count: 0,
             anomalous: false,
+            index: 0,
         }
     }
 }
@@ -186,6 +193,9 @@ pub struct RuntimeBuilder<'a> {
     backend: EngineBackend,
     shard_flow_slots: Option<usize>,
     apps: Vec<(&'a dyn TaurusApp, EngineBackend)>,
+    fault_plan: FaultPlan,
+    spare_replicas: usize,
+    control_timeout: Duration,
 }
 
 impl Default for RuntimeBuilder<'_> {
@@ -200,6 +210,9 @@ impl Default for RuntimeBuilder<'_> {
             backend: EngineBackend::default(),
             shard_flow_slots: None,
             apps: Vec::new(),
+            fault_plan: FaultPlan::default(),
+            spare_replicas: 0,
+            control_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -304,6 +317,42 @@ impl<'a> RuntimeBuilder<'a> {
     pub fn shard_flow_slots(mut self, slots: usize) -> Self {
         assert!(slots > 0, "shard_flow_slots must be positive");
         self.shard_flow_slots = Some(slots);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan: engine panics,
+    /// stalls, and dropped install replies at exact
+    /// (shard, global stream index) points — see [`FaultPlan`]. Empty
+    /// by default (nothing is injected, and the per-packet check is
+    /// skipped entirely).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Spare replicas for supervised recovery. With `n > 0`, a worker
+    /// that panics (or misses the control-plane watchdog) is replaced
+    /// at the next drain barrier by a spare rehydrated to the fleet's
+    /// current models, and the drain *reports* the fault
+    /// ([`RuntimeReport::faults`]) instead of re-raising the panic.
+    /// With the default `0`, drains keep the legacy contract and
+    /// re-raise.
+    pub fn spare_replicas(mut self, n: usize) -> Self {
+        self.spare_replicas = n;
+        self
+    }
+
+    /// Watchdog for synchronous control-plane exchanges (install
+    /// replies, drain snapshots): a shard that stays silent this long
+    /// is declared unresponsive instead of hanging the caller forever.
+    /// Defaults to 30 s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn control_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "control_timeout must be positive");
+        self.control_timeout = timeout;
         self
     }
 
@@ -431,16 +480,19 @@ impl<'a> RuntimeBuilder<'a> {
             }
             FlowTableKind::Keyed { .. } => self.config.clone(),
         };
-        let switches = (0..self.shards)
-            .map(|_| {
-                self.apps
-                    .iter()
-                    .fold(SwitchBuilder::new().config(replica_config.clone()), |b, &(app, be)| {
-                        b.register_on(app, be)
-                    })
-                    .build()
-            })
-            .collect();
+        let build_replica = || {
+            self.apps
+                .iter()
+                .fold(SwitchBuilder::new().config(replica_config.clone()), |b, &(app, be)| {
+                    b.register_on(app, be)
+                })
+                .build()
+        };
+        let switches = (0..self.shards).map(|_| build_replica()).collect();
+        // Spares are cold replicas from the same roster; the service
+        // rehydrates one with the accepted update history when it
+        // replaces a faulted worker.
+        let spares = (0..self.spare_replicas).map(|_| build_replica()).collect();
         Ok(StreamingRuntime::new(
             switches,
             self.batch_size,
@@ -451,6 +503,11 @@ impl<'a> RuntimeBuilder<'a> {
                 route_slots,
                 windows: CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
                 directory,
+            },
+            SupervisePlan {
+                spares,
+                control_timeout: self.control_timeout,
+                faults: self.fault_plan,
             },
         ))
     }
@@ -487,6 +544,13 @@ pub struct RuntimeReport {
     /// every shard sees updates at the same global packet boundary,
     /// the element-wise merge is exact.
     pub segments: Vec<BinaryMetrics>,
+    /// Fault accounting since the last drain: worker restarts, batches
+    /// dropped while degraded, rollbacks taken, canary verdicts. A run
+    /// with no faults reports exactly [`FaultReport::default`], so
+    /// fault-free reports compare bit-identical to pre-fault-era ones
+    /// (`#[serde(default)]`: older serialized reports still load).
+    #[serde(default, skip_serializing_if = "FaultReport::is_empty")]
+    pub faults: FaultReport,
 }
 
 impl RuntimeReport {
@@ -597,8 +661,8 @@ impl ShardedRuntime {
     ///
     /// # Errors
     ///
-    /// See [`taurus_core::TaurusSwitch::install_update`].
-    pub fn install_update(&mut self, update: &ModelUpdate) -> Result<(), UpdateError> {
+    /// See [`StreamingRuntime::install_update`].
+    pub fn install_update(&mut self, update: &ModelUpdate) -> Result<(), InstallError> {
         self.service.install_update(update)
     }
 
@@ -820,6 +884,7 @@ mod tests {
                 })
                 .collect(),
             segments: vec![taurus_ml::BinaryMetrics::default()],
+            faults: FaultReport::default(),
         };
         assert_eq!(report.balance(), 1.0);
         assert_eq!(report.modeled_pps(1e9), 4e9, "4 balanced shards = 4x line rate");

@@ -45,13 +45,18 @@
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 use taurus_core::ingest::{to_packet_into, ObsBuilder};
-use taurus_core::{ModelUpdate, SwitchReport, TaurusSwitch, UpdateError};
+use taurus_core::{ModelUpdate, RollbackPoint, SwitchReport, TaurusSwitch, UpdateError};
 use taurus_dataset::trace::{PacketTrace, TracePacket};
 use taurus_ml::BinaryMetrics;
 use taurus_pisa::{CrossFlowWindows, FlowTable, Verdict};
 
+use crate::fault::{
+    canary_decision, CanaryDecision, CanaryGuardrails, CanaryVerdictRecord, FaultPlan, FaultRecord,
+    FaultRecordKind, FaultReport, InstallError, ShardError, WorkerFaults,
+};
 use crate::pipeline::epoch::EpochBatch;
 use crate::pipeline::steer::{Batch, ShardMsg, SteerState, Steering};
 use crate::pipeline::{self, PipelineRun};
@@ -77,24 +82,43 @@ pub(crate) struct WorkerSnapshot {
 pub(crate) enum WorkerReply {
     /// Drain barrier reached; per-run counters were reset.
     Snapshot(Box<WorkerSnapshot>),
-    /// Result of a control-plane [`ShardMsg::Install`].
+    /// Result of a control-plane [`ShardMsg::Install`],
+    /// [`ShardMsg::Rollback`], or [`ShardMsg::Promote`].
     Install(Result<(), UpdateError>),
-    /// The worker caught this panic earlier in the run; the drain
-    /// barrier re-raises it on the caller's thread.
-    Panicked(Box<dyn Any + Send>),
+    /// Result of a [`ShardMsg::CanaryInstall`]: the rollback point
+    /// captured *before* the canary model was activated, or the
+    /// rejection (in which case the replica is untouched).
+    Canary(Result<Box<RollbackPoint>, UpdateError>),
+    /// Segment confusions read at a [`ShardMsg::Metrics`] probe:
+    /// the segment before the last boundary and the one after it.
+    Metrics { previous: BinaryMetrics, current: BinaryMetrics },
+    /// The worker caught this panic earlier in the run. Without spare
+    /// replicas the drain barrier re-raises it on the caller's thread;
+    /// with supervision it becomes a [`FaultRecord`] and the pre-panic
+    /// snapshot merges so surviving traffic is still accounted.
+    Panicked {
+        payload: Box<dyn Any + Send>,
+        snapshot: Box<WorkerSnapshot>,
+        /// Batches received and discarded while poisoned.
+        dropped_batches: u64,
+    },
 }
 
 /// The resident engine-worker loop: owns one [`TaurusSwitch`] replica
 /// for the lifetime of the service and serves its steer lane until the
-/// sender side is dropped (shutdown).
+/// sender side is dropped (shutdown). `faults` is this shard's slice of
+/// the builder's deterministic [`FaultPlan`]; it is empty in production
+/// and checked per packet only while armed.
 fn engine_worker(
     mut switch: TaurusSwitch,
     rx: spsc::Receiver<ShardMsg>,
     pool_tx: spsc::Sender<Batch>,
     reply_tx: spsc::Sender<WorkerReply>,
+    mut faults: WorkerFaults,
 ) {
     let mut processed = 0u64;
     let mut batches = 0u64;
+    let mut dropped_batches = 0u64;
     let mut segments = vec![BinaryMetrics::default()];
     // First panic caught this run; while set, batches are drained but
     // discarded (the run is poisoned — its report will never be built)
@@ -108,6 +132,9 @@ fn engine_worker(
                     batches += 1;
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         for p in &batch {
+                            if faults.is_armed() {
+                                faults.check_packet(p.index);
+                            }
                             // Verdict-only entry point: same counters
                             // and combined verdict as process_prepared,
                             // minus the per-packet per_app allocation.
@@ -127,6 +154,8 @@ fn engine_worker(
                     if let Err(payload) = outcome {
                         poisoned = Some(payload);
                     }
+                } else {
+                    dropped_batches += 1;
                 }
                 // Hand the drained buffer back for reuse (ingest may
                 // already be gone on teardown paths; dropping is fine).
@@ -146,21 +175,69 @@ fn engine_worker(
                 }
             }
             ShardMsg::Install(update) => {
-                let _ = reply_tx.send(WorkerReply::Install(switch.install_update(&update)));
+                let result = switch.install_update(&update);
+                if !faults.drop_this_install() {
+                    let _ = reply_tx.send(WorkerReply::Install(result));
+                }
+            }
+            ShardMsg::CanaryInstall(update) => {
+                // Capture first: a rejected install leaves the replica
+                // untouched and nothing to restore.
+                let result = match switch.capture_rollback(&update.app) {
+                    Ok(point) => switch.install_update(&update).map(|()| Box::new(point)),
+                    Err(e) => Err(e),
+                };
+                if result.is_ok() {
+                    segments.push(BinaryMetrics::default());
+                }
+                let _ = reply_tx.send(WorkerReply::Canary(result));
+            }
+            ShardMsg::MarkSegment => {
+                // Segment boundary with no model change: keeps segment
+                // lists aligned across shards when only a subset
+                // actually swapped models (see the canary protocol).
+                if poisoned.is_none() {
+                    segments.push(BinaryMetrics::default());
+                }
+            }
+            ShardMsg::Metrics => {
+                let current = *segments.last().expect("nonempty");
+                let previous = if segments.len() >= 2 {
+                    segments[segments.len() - 2]
+                } else {
+                    BinaryMetrics::default()
+                };
+                let _ = reply_tx.send(WorkerReply::Metrics { previous, current });
+            }
+            ShardMsg::Rollback(point) => {
+                let result = switch.rollback_to(&point);
+                if result.is_ok() {
+                    segments.push(BinaryMetrics::default());
+                }
+                let _ = reply_tx.send(WorkerReply::Install(result));
+            }
+            ShardMsg::Promote(update) => {
+                let result = switch.install_update(&update);
+                if result.is_ok() {
+                    segments.push(BinaryMetrics::default());
+                }
+                let _ = reply_tx.send(WorkerReply::Install(result));
             }
             ShardMsg::Drain => {
+                let snapshot = Box::new(WorkerSnapshot {
+                    processed,
+                    batches,
+                    segments: std::mem::take(&mut segments),
+                    report: switch.report(),
+                    versions: switch.app_versions(),
+                });
                 let reply = match poisoned.take() {
-                    Some(payload) => WorkerReply::Panicked(payload),
-                    None => WorkerReply::Snapshot(Box::new(WorkerSnapshot {
-                        processed,
-                        batches,
-                        segments: std::mem::take(&mut segments),
-                        report: switch.report(),
-                        versions: switch.app_versions(),
-                    })),
+                    Some(payload) => WorkerReply::Panicked { payload, snapshot, dropped_batches },
+                    None => WorkerReply::Snapshot(snapshot),
                 };
                 processed = 0;
                 batches = 0;
+                dropped_batches = 0;
                 segments.clear();
                 segments.push(BinaryMetrics::default());
                 let _ = reply_tx.send(reply);
@@ -170,11 +247,42 @@ fn engine_worker(
                 poisoned = None;
                 processed = 0;
                 batches = 0;
+                dropped_batches = 0;
                 segments.clear();
                 segments.push(BinaryMetrics::default());
             }
         }
     }
+}
+
+/// Spawns one resident engine worker and returns its lane ends. Used
+/// both at construction and when the supervisor respawns a replacement
+/// for a faulted worker.
+fn spawn_worker(
+    switch: TaurusSwitch,
+    queue_depth: usize,
+    faults: WorkerFaults,
+) -> (
+    spsc::Sender<ShardMsg>,
+    spsc::Receiver<Batch>,
+    spsc::Receiver<WorkerReply>,
+    std::thread::JoinHandle<()>,
+) {
+    let (tx, rx) = spsc::channel::<ShardMsg>(queue_depth);
+    // Reverse lane carrying drained buffers back to ingest. A shard's
+    // cycle holds at most `queue_depth + 3` buffers at once (1 staging
+    // + queue_depth in flight + 1 at the worker + 1 freshly taken), so
+    // with one extra slot of slack the worker's return send can never
+    // block — no deadlock against a blocked forward send.
+    let (pool_tx, pool_rx) = spsc::channel::<Batch>(queue_depth + 4);
+    // Reply lane for the synchronous control-plane exchanges (drain
+    // snapshots, install/canary/metrics results): at most one request
+    // is ever outstanding per shard.
+    let (reply_tx, reply_rx) = spsc::channel::<WorkerReply>(2);
+    let handle = std::thread::spawn(move || {
+        engine_worker(switch, rx, pool_tx, reply_tx, faults);
+    });
+    (tx, pool_rx, reply_rx, handle)
 }
 
 /// A persistent streaming host for [`TaurusSwitch`] replicas: resident
@@ -211,8 +319,11 @@ pub struct StreamingRuntime {
     recycle: Vec<spsc::Receiver<Batch>>,
     replies: Vec<spsc::Receiver<WorkerReply>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Handles of replaced (faulted) workers, joined at teardown.
+    retired: Vec<std::thread::JoinHandle<()>>,
     shards: usize,
     batch_size: usize,
+    queue_depth: usize,
     parse_workers: usize,
     epoch_len: usize,
     route_slots: usize,
@@ -236,8 +347,45 @@ pub struct StreamingRuntime {
     /// Global stream position: packets accepted across all feeds.
     position: u64,
     /// Mirror of the fleet's installed versions (all replicas agree by
-    /// construction), refreshed from shard 0's snapshot at every drain.
+    /// construction), refreshed from a healthy snapshot at every drain.
     versions: Vec<(String, u64)>,
+    /// Spare replicas for supervised recovery: cold switches built from
+    /// the same roster, consumed (newest first) when a faulted worker
+    /// is respawned. Empty ⇒ legacy panic-at-drain semantics.
+    spares: Vec<TaurusSwitch>,
+    /// Whether supervision was requested at build time (spares > 0).
+    /// Stays true after the spares run out so fault accounting (rather
+    /// than a re-raised panic) remains the drain's contract.
+    supervised: bool,
+    /// Every update the fleet accepted, in install order — replayed
+    /// onto a spare to rehydrate it to the fleet's current versions.
+    history: Vec<Arc<ModelUpdate>>,
+    /// How long a control-plane exchange (install reply, drain
+    /// snapshot) may take before the shard is declared unresponsive.
+    control_timeout: Duration,
+    /// Fault accounting accumulated since the last drain.
+    fault_acc: FaultReport,
+    /// The in-flight canary rollout, if any.
+    canary: Option<CanaryRun>,
+    /// Shards retired after their worker faulted with no spare left.
+    lost: Vec<bool>,
+}
+
+/// An in-flight canary rollout: the candidate update, the shard split,
+/// and the rollback points captured on each canary shard.
+struct CanaryRun {
+    update: Arc<ModelUpdate>,
+    /// Shards `first_canary..shards` run the candidate; `0..first_canary`
+    /// stay on the incumbent as the control group.
+    first_canary: usize,
+    points: Vec<(usize, RollbackPoint)>,
+}
+
+/// Supervision plan handed from the builder to the resident service.
+pub(crate) struct SupervisePlan {
+    pub(crate) spares: Vec<TaurusSwitch>,
+    pub(crate) control_timeout: Duration,
+    pub(crate) faults: FaultPlan,
 }
 
 /// Ingest-side plan handed from the builder to the resident service:
@@ -259,8 +407,10 @@ impl StreamingRuntime {
         batch_size: usize,
         queue_depth: usize,
         ingest: IngestPlan,
+        supervise: SupervisePlan,
     ) -> Self {
         let IngestPlan { parse_workers, epoch_len, route_slots, windows, directory } = ingest;
+        let SupervisePlan { spares, control_timeout, faults } = supervise;
         let shards = switches.len();
         // Provision the recycle pool up front: a shard's buffer cycle
         // peaks at `queue_depth + 3` buffers (staging + in-flight +
@@ -279,33 +429,24 @@ impl StreamingRuntime {
         let mut recycle = Vec::with_capacity(shards);
         let mut replies = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for switch in switches {
-            let (tx, rx) = spsc::channel::<ShardMsg>(queue_depth);
-            // Reverse lane carrying drained buffers back to ingest. A
-            // shard's cycle holds at most `queue_depth + 3` buffers at
-            // once (1 staging + queue_depth in flight + 1 at the worker
-            // + 1 freshly taken), so with one extra slot of slack the
-            // worker's return send can never block — no deadlock
-            // against a blocked forward send.
-            let (pool_tx, pool_rx) = spsc::channel::<Batch>(queue_depth + 4);
-            // Reply lane for the synchronous control-plane exchanges
-            // (drain snapshots, install results): at most one request
-            // is ever outstanding per shard.
-            let (reply_tx, reply_rx) = spsc::channel::<WorkerReply>(2);
+        for (shard, switch) in switches.into_iter().enumerate() {
+            let (tx, pool_rx, reply_rx, handle) =
+                spawn_worker(switch, queue_depth, faults.for_shard(shard));
             senders.push(tx);
             recycle.push(pool_rx);
             replies.push(reply_rx);
-            workers.push(std::thread::spawn(move || {
-                engine_worker(switch, rx, pool_tx, reply_tx);
-            }));
+            workers.push(handle);
         }
+        let supervised = !spares.is_empty();
         Self {
             senders,
             recycle,
             replies,
             workers,
+            retired: Vec::new(),
             shards,
             batch_size,
+            queue_depth,
             parse_workers,
             epoch_len,
             route_slots,
@@ -324,6 +465,13 @@ impl StreamingRuntime {
             pending: Vec::new(),
             position: 0,
             versions,
+            spares,
+            supervised,
+            history: Vec::new(),
+            control_timeout,
+            fault_acc: FaultReport::default(),
+            canary: None,
+            lost: vec![false; shards],
         }
     }
 
@@ -404,7 +552,7 @@ impl StreamingRuntime {
                     // already passed installs before this packet
                     // rather than never.
                     while next_update < updates.len() && updates[next_update].0 <= index {
-                        if !steer.flush_and_update(&updates[next_update].1) {
+                        if steer.flush_and_update(&updates[next_update].1).is_err() {
                             break 'ingest;
                         }
                         next_update += 1;
@@ -426,12 +574,15 @@ impl StreamingRuntime {
                     slot.dst_count = dst_count;
                     slot.srv_count = srv_count;
                     slot.anomalous = tp.anomalous;
+                    slot.index = index;
                     *position += 1;
                     if !steer.commit(shard) {
                         break 'ingest;
                     }
                 }
-                steer.flush_partials();
+                // A dead shard here is diagnosed (and possibly
+                // recovered) at the next drain barrier, not mid-feed.
+                let _ = steer.flush_partials();
                 consumed = next_update;
             } else {
                 // Pipelined ingest: N scoped parse workers slice the
@@ -483,10 +634,14 @@ impl StreamingRuntime {
     ///
     /// # Panics
     ///
-    /// Re-raises the first panic a worker caught since the last drain
-    /// (an app engine panicking, a scheduled update failing to install)
-    /// — after the barrier completed on every shard, so the service is
-    /// quiesced and can be [`StreamingRuntime::reset`] and reused.
+    /// Without supervision (no spare replicas configured), re-raises
+    /// the first panic a worker caught since the last drain (an app
+    /// engine panicking, a scheduled update failing to install) — after
+    /// the barrier completed on every shard, so the service is quiesced
+    /// and can be [`StreamingRuntime::reset`] and reused. With spares,
+    /// the fault becomes accounting instead: the pre-panic snapshot
+    /// merges, the worker is respawned from a rehydrated spare, and
+    /// [`RuntimeReport::faults`] records what happened.
     pub fn drain(&mut self) -> RuntimeReport {
         // Leftover updates land after the last fed packet, exactly like
         // the old end-of-run handling.
@@ -494,15 +649,25 @@ impl StreamingRuntime {
         let batch_size = self.batch_size;
         let mut installed = 0usize;
         {
-            let Self { senders, recycle, steer, batch_pool, .. } = self;
+            let Self { senders, recycle, steer, batch_pool, fault_acc, .. } = self;
             let mut steer = Steering::new(steer, batch_size, batch_pool, recycle, senders);
             for (_, update) in &updates {
-                if !steer.flush_and_update(update) {
-                    break;
+                match steer.flush_and_update(update) {
+                    Ok(()) => installed += 1,
+                    Err(err) => {
+                        fault_acc.records.push(FaultRecord {
+                            shard: err.shard(),
+                            kind: FaultRecordKind::InstallFailed,
+                            detail: format!(
+                                "in-band update `{}` v{} not delivered: {err}",
+                                update.app, update.version
+                            ),
+                        });
+                        break;
+                    }
                 }
-                installed += 1;
             }
-            steer.flush_partials();
+            let _ = steer.flush_partials();
         }
         for (_, update) in updates.iter().take(installed) {
             self.note_installed(update);
@@ -512,8 +677,13 @@ impl StreamingRuntime {
         }
         // Collect every reply before acting on any: the full barrier
         // guarantees all shards are quiesced even if one panicked.
-        let replies: Vec<Option<WorkerReply>> =
-            self.replies.iter().map(|rx| rx.recv().ok()).collect();
+        let timeout = self.control_timeout;
+        let raw: Vec<Option<Result<WorkerReply, spsc::RecvTimeoutError>>> = self
+            .replies
+            .iter()
+            .enumerate()
+            .map(|(shard, rx)| if self.lost[shard] { None } else { Some(rx.recv_timeout(timeout)) })
+            .collect();
         // Reclaim buffers parked in the recycle lanes so the next feed
         // starts fully provisioned.
         for lane in &self.recycle {
@@ -521,36 +691,105 @@ impl StreamingRuntime {
                 self.batch_pool.push(buf);
             }
         }
-        let mut snapshots: Vec<WorkerSnapshot> = Vec::with_capacity(self.shards);
+        // (shard, snapshot, faulted): faulted snapshots carry only the
+        // traffic processed before the panic.
+        let mut snapshots: Vec<(usize, WorkerSnapshot, bool)> = Vec::with_capacity(self.shards);
+        let mut to_respawn: Vec<usize> = Vec::new();
         let mut panic_payload: Option<Box<dyn Any + Send>> = None;
-        for (shard, reply) in replies.into_iter().enumerate() {
-            match reply {
-                Some(WorkerReply::Snapshot(snapshot)) => snapshots.push(*snapshot),
-                Some(WorkerReply::Panicked(payload)) => {
-                    panic_payload.get_or_insert(payload);
+        for (shard, entry) in raw.into_iter().enumerate() {
+            let Some(result) = entry else { continue };
+            match result {
+                Ok(WorkerReply::Snapshot(snapshot)) => snapshots.push((shard, *snapshot, false)),
+                Ok(WorkerReply::Panicked { payload, snapshot, dropped_batches }) => {
+                    if self.supervised {
+                        self.fault_acc.records.push(FaultRecord {
+                            shard,
+                            kind: FaultRecordKind::WorkerPanic,
+                            detail: panic_detail(payload.as_ref()),
+                        });
+                        self.fault_acc.batches_dropped += dropped_batches;
+                        snapshots.push((shard, *snapshot, true));
+                        to_respawn.push(shard);
+                    } else {
+                        // Legacy contract: the drain re-raises.
+                        panic_payload.get_or_insert(payload);
+                    }
                 }
-                Some(WorkerReply::Install(_)) => {
-                    unreachable!("install replies are consumed synchronously")
+                Ok(WorkerReply::Install(_))
+                | Ok(WorkerReply::Canary(_))
+                | Ok(WorkerReply::Metrics { .. }) => {
+                    // A stale control-plane reply at the drain barrier:
+                    // the shard is out of protocol; replace it.
+                    self.fault_acc.records.push(FaultRecord {
+                        shard,
+                        kind: FaultRecordKind::Unresponsive,
+                        detail: "stale control-plane reply at the drain barrier".into(),
+                    });
+                    to_respawn.push(shard);
                 }
-                None => panic!("engine worker {shard} died outside the panic protocol"),
+                Err(spsc::RecvTimeoutError::Timeout) => {
+                    self.fault_acc.records.push(FaultRecord {
+                        shard,
+                        kind: FaultRecordKind::Unresponsive,
+                        detail: format!("no drain reply within {} ms", timeout.as_millis()),
+                    });
+                    to_respawn.push(shard);
+                }
+                Err(spsc::RecvTimeoutError::Disconnected) => {
+                    if self.supervised {
+                        self.fault_acc.records.push(FaultRecord {
+                            shard,
+                            kind: FaultRecordKind::WorkerPanic,
+                            detail: "worker lane closed outside the panic protocol".into(),
+                        });
+                        to_respawn.push(shard);
+                    } else {
+                        panic!("engine worker {shard} died outside the panic protocol");
+                    }
+                }
             }
         }
         if let Some(payload) = panic_payload {
             std::panic::resume_unwind(payload);
         }
+        let any_faulted = !to_respawn.is_empty();
+        for shard in to_respawn {
+            if self.respawn(shard) {
+                self.fault_acc.worker_restarts += 1;
+            } else {
+                self.retire_shard(shard);
+                self.fault_acc.records.push(FaultRecord {
+                    shard,
+                    kind: FaultRecordKind::ShardLost,
+                    detail: "no spare replica left; shard retired".into(),
+                });
+            }
+        }
+        if any_faulted {
+            // Faulted lanes were replaced; clear the steer's dead latch
+            // so the next feed flows again.
+            self.steer.clear_dead();
+        }
         let mut segments: Vec<BinaryMetrics> = Vec::new();
+        let mut versions_seeded = false;
         let shards: Vec<ShardStats> = snapshots
             .into_iter()
-            .enumerate()
-            .map(|(shard, snapshot)| {
-                if shard == 0 {
-                    self.versions = snapshot.versions;
-                    segments = snapshot.segments;
-                } else {
+            .map(|(shard, snapshot, faulted)| {
+                if !faulted && !versions_seeded {
+                    self.versions = snapshot.versions.clone();
+                    versions_seeded = true;
+                }
+                // Absorb segments element-wise as a prefix: a panicked
+                // worker skipped in-band updates while poisoned, so its
+                // segment list may be shorter than a healthy shard's.
+                if !any_faulted && !segments.is_empty() {
                     debug_assert_eq!(segments.len(), snapshot.segments.len());
-                    for (acc, seg) in segments.iter_mut().zip(&snapshot.segments) {
-                        acc.absorb(seg);
-                    }
+                }
+                if snapshot.segments.len() > segments.len() {
+                    segments.resize(snapshot.segments.len(), BinaryMetrics::default());
+                }
+                for (acc, seg) in segments.iter_mut().zip(&snapshot.segments) {
+                    acc.absorb(seg);
                 }
                 ShardStats {
                     shard,
@@ -560,9 +799,57 @@ impl StreamingRuntime {
                 }
             })
             .collect();
-        let merged = SwitchReport::merged(shards.iter().map(|s| &s.report))
-            .expect("replicas share one roster by construction");
-        RuntimeReport { merged, shards, segments }
+        let merged = SwitchReport::merged(shards.iter().map(|s| &s.report)).unwrap_or_default();
+        let faults = std::mem::take(&mut self.fault_acc);
+        RuntimeReport { merged, shards, segments, faults }
+    }
+
+    /// Replaces a faulted worker with a spare replica rehydrated to the
+    /// fleet's current models (builder roster + the accepted update
+    /// history, plus the in-flight canary model on canary shards).
+    /// Returns `false` when no spare is left.
+    fn respawn(&mut self, shard: usize) -> bool {
+        let Some(mut switch) = self.spares.pop() else {
+            return false;
+        };
+        for update in &self.history {
+            // The history was accepted by identical replicas; replay
+            // cannot fail, but a spare must never panic the supervisor.
+            let _ = switch.install_update(update);
+        }
+        if let Some(run) = &mut self.canary {
+            if shard >= run.first_canary {
+                if let Ok(point) = switch.capture_rollback(&run.update.app) {
+                    if switch.install_update(&run.update).is_ok() {
+                        match run.points.iter_mut().find(|(s, _)| *s == shard) {
+                            Some(entry) => entry.1 = point,
+                            None => run.points.push((shard, point)),
+                        }
+                    }
+                }
+            }
+        }
+        let (tx, pool_rx, reply_rx, handle) =
+            spawn_worker(switch, self.queue_depth, WorkerFaults::none());
+        // Dropping the old sender ends the old worker's loop; its
+        // handle parks in `retired` and is joined at teardown.
+        drop(std::mem::replace(&mut self.senders[shard], tx));
+        self.recycle[shard] = pool_rx;
+        self.replies[shard] = reply_rx;
+        self.retired.push(std::mem::replace(&mut self.workers[shard], handle));
+        true
+    }
+
+    /// Retires a shard for good: its lanes are replaced with closed
+    /// ones (sends fail fast) and it is skipped by every later barrier.
+    fn retire_shard(&mut self, shard: usize) {
+        let (dead_tx, _) = spsc::channel::<ShardMsg>(1);
+        drop(std::mem::replace(&mut self.senders[shard], dead_tx));
+        let (_, dead_pool) = spsc::channel::<Batch>(1);
+        let (_, dead_reply) = spsc::channel::<WorkerReply>(1);
+        self.recycle[shard] = dead_pool;
+        self.replies[shard] = dead_reply;
+        self.lost[shard] = true;
     }
 
     /// Drains, then tears the service down: closes every lane, joins
@@ -570,7 +857,7 @@ impl StreamingRuntime {
     pub fn shutdown(mut self) -> RuntimeReport {
         let report = self.drain();
         self.senders.clear(); // closing the lanes ends the worker loops
-        for worker in self.workers.drain(..) {
+        for worker in self.workers.drain(..).chain(self.retired.drain(..)) {
             let _ = worker.join();
         }
         report
@@ -585,29 +872,69 @@ impl StreamingRuntime {
 
     /// Installs a model update on every shard *now* (at the current
     /// stream barrier: after everything already fed, before anything
-    /// fed next). Validation runs on shard 0 first — replicas are
-    /// identical by construction, so its verdict decides for the fleet
-    /// before any other replica is touched.
+    /// fed next). The install is **broadcast before any reply is
+    /// awaited**: replicas are identical by construction, so they all
+    /// render the same accept/reject verdict, and a shard whose
+    /// acknowledgement is lost cannot leave the rest of the fleet
+    /// behind — the model still reached every live worker, and the
+    /// next [`StreamingRuntime::drain`] re-syncs the version mirror
+    /// from the worker snapshots.
     ///
     /// # Errors
     ///
-    /// See [`TaurusSwitch::install_update`].
-    pub fn install_update(&mut self, update: &ModelUpdate) -> Result<(), UpdateError> {
-        let shared = Arc::new(update.clone());
-        for shard in 0..self.shards {
-            self.install_on(shard, &shared)?;
+    /// [`InstallError::Rejected`] wraps the replica's verdict (see
+    /// [`TaurusSwitch::install_update`]); [`InstallError::Shard`] means
+    /// a shard is dead or did not reply within the control timeout;
+    /// [`InstallError::CanaryActive`] means a canary rollout must be
+    /// concluded first.
+    pub fn install_update(&mut self, update: &ModelUpdate) -> Result<(), InstallError> {
+        if self.canary.is_some() {
+            return Err(InstallError::CanaryActive);
         }
-        self.note_installed(&shared);
-        Ok(())
+        let shared = Arc::new(update.clone());
+        let mut sent = 0;
+        let mut first_err: Option<InstallError> = None;
+        for shard in 0..self.shards {
+            if self.lost[shard]
+                || self.senders[shard].send(ShardMsg::Install(Arc::clone(&shared))).is_err()
+            {
+                first_err = Some(ShardError::Dead { shard }.into());
+                break;
+            }
+            sent += 1;
+        }
+        // Gather every outstanding reply even after a failure so the
+        // reply lanes stay aligned for the next control operation.
+        for shard in 0..sent {
+            if let Err(e) = self.await_install_reply(shard) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => {
+                self.note_installed(&shared);
+                Ok(())
+            }
+            Some(e) => Err(e),
+        }
     }
 
-    fn install_on(&self, shard: usize, update: &Arc<ModelUpdate>) -> Result<(), UpdateError> {
-        if self.senders[shard].send(ShardMsg::Install(Arc::clone(update))).is_err() {
-            panic!("engine worker {shard} died outside the panic protocol");
-        }
-        match self.replies[shard].recv() {
-            Ok(WorkerReply::Install(result)) => result,
-            _ => panic!("engine worker {shard} died outside the panic protocol"),
+    fn await_install_reply(&mut self, shard: usize) -> Result<(), InstallError> {
+        match self.replies[shard].recv_timeout(self.control_timeout) {
+            Ok(WorkerReply::Install(result)) => result.map_err(InstallError::Rejected),
+            Ok(_) => Err(ShardError::Dead { shard }.into()),
+            Err(spsc::RecvTimeoutError::Timeout) => {
+                self.fault_acc.records.push(FaultRecord {
+                    shard,
+                    kind: FaultRecordKind::Unresponsive,
+                    detail: format!(
+                        "no install reply within {} ms",
+                        self.control_timeout.as_millis()
+                    ),
+                });
+                Err(ShardError::Unresponsive { shard, waited: self.control_timeout }.into())
+            }
+            Err(spsc::RecvTimeoutError::Disconnected) => Err(ShardError::Dead { shard }.into()),
         }
     }
 
@@ -644,10 +971,224 @@ impl StreamingRuntime {
         self.versions.clone()
     }
 
-    fn note_installed(&mut self, update: &ModelUpdate) {
+    fn note_installed(&mut self, update: &Arc<ModelUpdate>) {
         if let Some(entry) = self.versions.iter_mut().find(|(name, _)| *name == update.app) {
             entry.1 = update.version;
         }
+        // Remember every accepted update so a spare replica can be
+        // rehydrated to the fleet's current models on respawn.
+        self.history.push(Arc::clone(update));
+    }
+
+    /// Flushes every staged partial batch — a stream barrier: all
+    /// packets fed so far are delivered before whatever comes next.
+    fn flush_partials_now(&mut self) -> Result<(), ShardError> {
+        let Self { senders, recycle, steer, batch_pool, batch_size, .. } = self;
+        let mut steer = Steering::new(steer, *batch_size, batch_pool, recycle, senders);
+        steer.flush_partials()
+    }
+
+    /// Starts a canary rollout: installs `update` on the **last**
+    /// `canary_shards` shards (clamped to `1..=shards`; shard 0 always
+    /// stays in the control group) at the current stream barrier, after
+    /// capturing a bit-exact rollback point on each. Control shards
+    /// take a synchronized segment boundary, so from this barrier on,
+    /// every shard's *current* segment isolates probation traffic.
+    /// Conclude with [`StreamingRuntime::conclude_canary`] before the
+    /// next drain.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::CanaryActive`] if a rollout is already in
+    /// flight; [`InstallError::Rejected`] if the candidate is invalid
+    /// (stale version, wrong backend, no formatter factory to capture a
+    /// rollback point from) — the fleet is untouched in that case;
+    /// [`InstallError::Shard`] on a dead or unresponsive shard.
+    pub fn begin_canary(
+        &mut self,
+        update: &ModelUpdate,
+        canary_shards: usize,
+    ) -> Result<(), InstallError> {
+        if self.canary.is_some() {
+            return Err(InstallError::CanaryActive);
+        }
+        let n = canary_shards.clamp(1, self.shards);
+        let first_canary = self.shards - n;
+        self.flush_partials_now()?;
+        let shared = Arc::new(update.clone());
+        let mut points: Vec<(usize, RollbackPoint)> = Vec::new();
+        for shard in first_canary..self.shards {
+            if self.lost[shard] {
+                return Err(ShardError::Dead { shard }.into());
+            }
+            if self.senders[shard].send(ShardMsg::CanaryInstall(Arc::clone(&shared))).is_err() {
+                return Err(ShardError::Dead { shard }.into());
+            }
+            match self.replies[shard].recv_timeout(self.control_timeout) {
+                Ok(WorkerReply::Canary(Ok(point))) => points.push((shard, *point)),
+                Ok(WorkerReply::Canary(Err(e))) => {
+                    // Replicas are identical, so the first canary shard
+                    // vets the candidate for all of them: a rejection
+                    // lands here before any other replica changed. (If
+                    // a later shard disagreed anyway, restore the ones
+                    // already switched.)
+                    for (s, p) in &points {
+                        let _ = self.senders[*s].send(ShardMsg::Rollback(Box::new(p.clone())));
+                        let _ = self.replies[*s].recv_timeout(self.control_timeout);
+                    }
+                    return Err(InstallError::Rejected(e));
+                }
+                Ok(_) => return Err(ShardError::Dead { shard }.into()),
+                Err(spsc::RecvTimeoutError::Timeout) => {
+                    return Err(
+                        ShardError::Unresponsive { shard, waited: self.control_timeout }.into()
+                    )
+                }
+                Err(spsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ShardError::Dead { shard }.into())
+                }
+            }
+        }
+        // Synchronized segment boundary on the control shards: segment
+        // lists stay aligned across the fleet and each shard's current
+        // segment now covers exactly the probation window.
+        for shard in 0..first_canary {
+            let _ = self.senders[shard].send(ShardMsg::MarkSegment);
+        }
+        self.canary = Some(CanaryRun { update: shared, first_canary, points });
+        Ok(())
+    }
+
+    /// Whether a canary rollout is currently in flight.
+    pub fn canary_active(&self) -> bool {
+        self.canary.is_some()
+    }
+
+    /// Ends the probation window at the current stream barrier and
+    /// decides the rollout: merges the probation-window confusion of
+    /// the canary shards against the control group (see
+    /// [`canary_decision`] — a pure function of the merged metrics, so
+    /// the verdict is invariant to shard geometry for models the two
+    /// groups score identically). **Promote** installs the candidate on
+    /// the control shards; **Rollback** restores every canary shard
+    /// from its captured point, bit-exactly. Either way the fleet is
+    /// uniform again and the verdict lands in the next drain's
+    /// [`RuntimeReport::faults`].
+    ///
+    /// With a single shard there is no control group; the shard's own
+    /// pre-canary segment is the baseline instead.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::NoCanary`] without a rollout in flight;
+    /// [`InstallError::Shard`] on a dead or unresponsive shard.
+    pub fn conclude_canary(
+        &mut self,
+        guardrails: &CanaryGuardrails,
+    ) -> Result<CanaryVerdictRecord, InstallError> {
+        let run = self.canary.take().ok_or(InstallError::NoCanary)?;
+        self.flush_partials_now()?;
+        let mut canary_now = BinaryMetrics::default();
+        let mut control_now = BinaryMetrics::default();
+        let mut fleet_before = BinaryMetrics::default();
+        for shard in 0..self.shards {
+            if self.lost[shard] {
+                continue;
+            }
+            if self.senders[shard].send(ShardMsg::Metrics).is_err() {
+                return Err(ShardError::Dead { shard }.into());
+            }
+            match self.replies[shard].recv_timeout(self.control_timeout) {
+                Ok(WorkerReply::Metrics { previous, current }) => {
+                    fleet_before.absorb(&previous);
+                    if shard >= run.first_canary {
+                        canary_now.absorb(&current);
+                    } else {
+                        control_now.absorb(&current);
+                    }
+                }
+                Ok(_) => return Err(ShardError::Dead { shard }.into()),
+                Err(spsc::RecvTimeoutError::Timeout) => {
+                    return Err(
+                        ShardError::Unresponsive { shard, waited: self.control_timeout }.into()
+                    )
+                }
+                Err(spsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ShardError::Dead { shard }.into())
+                }
+            }
+        }
+        let control = if run.first_canary == 0 { fleet_before } else { control_now };
+        let decision = canary_decision(&canary_now, &control, guardrails);
+        match decision {
+            CanaryDecision::Promote => {
+                for shard in 0..run.first_canary {
+                    if self.lost[shard] {
+                        continue;
+                    }
+                    if self.senders[shard].send(ShardMsg::Promote(Arc::clone(&run.update))).is_err()
+                    {
+                        return Err(ShardError::Dead { shard }.into());
+                    }
+                    match self.replies[shard].recv_timeout(self.control_timeout) {
+                        Ok(WorkerReply::Install(_)) => {}
+                        Ok(_) | Err(spsc::RecvTimeoutError::Disconnected) => {
+                            return Err(ShardError::Dead { shard }.into())
+                        }
+                        Err(spsc::RecvTimeoutError::Timeout) => {
+                            return Err(ShardError::Unresponsive {
+                                shard,
+                                waited: self.control_timeout,
+                            }
+                            .into())
+                        }
+                    }
+                }
+                for shard in run.first_canary..self.shards {
+                    let _ = self.senders[shard].send(ShardMsg::MarkSegment);
+                }
+                self.note_installed(&run.update);
+            }
+            CanaryDecision::Rollback => {
+                for (shard, point) in &run.points {
+                    if self.lost[*shard] {
+                        continue;
+                    }
+                    if self.senders[*shard]
+                        .send(ShardMsg::Rollback(Box::new(point.clone())))
+                        .is_err()
+                    {
+                        return Err(ShardError::Dead { shard: *shard }.into());
+                    }
+                    match self.replies[*shard].recv_timeout(self.control_timeout) {
+                        Ok(WorkerReply::Install(_)) => {}
+                        Ok(_) | Err(spsc::RecvTimeoutError::Disconnected) => {
+                            return Err(ShardError::Dead { shard: *shard }.into())
+                        }
+                        Err(spsc::RecvTimeoutError::Timeout) => {
+                            return Err(ShardError::Unresponsive {
+                                shard: *shard,
+                                waited: self.control_timeout,
+                            }
+                            .into())
+                        }
+                    }
+                }
+                for shard in 0..run.first_canary {
+                    let _ = self.senders[shard].send(ShardMsg::MarkSegment);
+                }
+                self.fault_acc.rollbacks_taken += 1;
+            }
+        }
+        let record = CanaryVerdictRecord {
+            app: run.update.app.clone(),
+            version: run.update.version,
+            decision,
+            canary: canary_now,
+            control,
+        };
+        self.fault_acc.canary_verdicts.push(record.clone());
+        Ok(record)
     }
 
     /// Clears every replica's flow state and counters (including any
@@ -676,7 +1217,7 @@ impl Drop for StreamingRuntime {
     /// draining is the "I don't care about the outcome" path.
     fn drop(&mut self) {
         self.senders.clear();
-        for worker in self.workers.drain(..) {
+        for worker in self.workers.drain(..).chain(self.retired.drain(..)) {
             let _ = worker.join();
         }
     }
@@ -691,5 +1232,110 @@ impl core::fmt::Debug for StreamingRuntime {
             .field("epoch_len", &self.epoch_len)
             .field("stream_position", &self.position)
             .finish()
+    }
+}
+
+/// Renders a caught panic payload for a [`FaultRecord`].
+fn panic_detail(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Configuration for a [`CanaryController`]: how many shards canary
+/// the candidate and which guardrails decide promotion.
+#[derive(Debug, Clone)]
+pub struct CanaryConfig {
+    /// Shards that run the candidate during probation (clamped to
+    /// `1..=shards`; they are taken from the *end* of the shard range
+    /// so shard 0 always anchors the control group).
+    pub canary_shards: usize,
+    /// Promotion guardrails (see [`canary_decision`]).
+    pub guardrails: CanaryGuardrails,
+}
+
+impl Default for CanaryConfig {
+    fn default() -> Self {
+        Self { canary_shards: 1, guardrails: CanaryGuardrails::default() }
+    }
+}
+
+/// Drives canaried rollouts against a [`StreamingRuntime`] with one
+/// fixed policy: [`CanaryController::begin`] stages the candidate on
+/// the canary subset, the caller feeds the probation traffic, and
+/// [`CanaryController::conclude`] promotes or rolls back under the
+/// configured guardrails.
+///
+/// ```
+/// use taurus_core::apps::SynFloodDetector;
+/// use taurus_core::EngineBackend;
+/// use taurus_dataset::kdd::KddGenerator;
+/// use taurus_dataset::trace::{PacketTrace, TraceConfig};
+/// use taurus_runtime::{
+///     CanaryConfig, CanaryController, CanaryDecision, CanaryGuardrails, RuntimeBuilder,
+/// };
+///
+/// let syn = SynFloodDetector::default_deployment();
+/// let mut service = RuntimeBuilder::new()
+///     .shards(2)
+///     .register_on(&syn, EngineBackend::Threshold)
+///     .build_streaming();
+/// let records = KddGenerator::new(7).take(120);
+/// let trace = PacketTrace::expand(records, &TraceConfig::default());
+///
+/// // Guardrails sized for a short probation: the canary shard sees
+/// // different flows than the control shard, so even an identical
+/// // model shows slice-to-slice metric noise.
+/// let controller = CanaryController::new(CanaryConfig {
+///     canary_shards: 1,
+///     guardrails: CanaryGuardrails {
+///         max_f1_drop: 30.0,
+///         max_positive_rate_delta: 0.3,
+///         min_samples: 50,
+///     },
+/// });
+/// // The incumbent's own cutoff: expected to promote.
+/// let candidate = syn.retune(40, 1, EngineBackend::Threshold);
+/// controller.begin(&mut service, &candidate).expect("fresh rollout");
+/// service.feed(&trace.packets); // probation traffic
+/// let verdict = controller.conclude(&mut service).expect("rollout concludes");
+/// assert_eq!(verdict.decision, CanaryDecision::Promote);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CanaryController {
+    config: CanaryConfig,
+}
+
+impl CanaryController {
+    /// A controller with the given policy.
+    pub fn new(config: CanaryConfig) -> Self {
+        Self { config }
+    }
+
+    /// The controller's policy.
+    pub fn config(&self) -> &CanaryConfig {
+        &self.config
+    }
+
+    /// Starts a rollout — see [`StreamingRuntime::begin_canary`].
+    pub fn begin(
+        &self,
+        service: &mut StreamingRuntime,
+        update: &ModelUpdate,
+    ) -> Result<(), InstallError> {
+        service.begin_canary(update, self.config.canary_shards)
+    }
+
+    /// Ends probation and decides — see
+    /// [`StreamingRuntime::conclude_canary`].
+    pub fn conclude(
+        &self,
+        service: &mut StreamingRuntime,
+    ) -> Result<CanaryVerdictRecord, InstallError> {
+        service.conclude_canary(&self.config.guardrails)
     }
 }

@@ -27,12 +27,27 @@
 //! scheduling quanta rather than burning the peer's CPU.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Bounded polling retries before a blocked endpoint parks on its
 /// condvar. Each retry yields, so the worst case adds a handful of
 /// scheduler quanta, never a busy-wait.
 const SPIN_TRIES: u32 = 32;
+
+/// Recovers the guard from a poisoned lock instead of panicking.
+///
+/// The channel's invariants are a `VecDeque` plus two liveness booleans
+/// — every mutation is a single push/pop/store, so a peer that panicked
+/// *while holding the lock* still left the state coherent. Unwrapping
+/// the poison keeps one panicked endpoint from cascading a second panic
+/// through every other channel user (the supervised-recovery paths need
+/// the surviving side to keep draining).
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The send half failed because the receiver is gone; returns the
 /// unsent value.
@@ -51,6 +66,17 @@ pub enum TryRecvError {
     Empty,
     /// Nothing buffered and the sender is gone — nothing will ever
     /// arrive.
+    Disconnected,
+}
+
+/// Why [`Receiver::recv_timeout`] returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the deadline; the sender is still alive.
+    /// The caller decides whether that is a stalled peer (watchdog
+    /// diagnostics) or just a quiet channel.
+    Timeout,
+    /// The channel is empty and the sender is gone.
     Disconnected,
 }
 
@@ -113,7 +139,7 @@ impl<T> Sender<T> {
         // successful poll skips the condvar park entirely.
         for _ in 0..SPIN_TRIES {
             {
-                let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+                let mut state = recover(self.shared.state.lock());
                 if !state.receiver_alive {
                     return Err(SendError(value));
                 }
@@ -127,7 +153,7 @@ impl<T> Sender<T> {
             std::thread::yield_now();
         }
         // Park phase: the classic condvar predicate loop.
-        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        let mut state = recover(self.shared.state.lock());
         loop {
             if !state.receiver_alive {
                 return Err(SendError(value));
@@ -137,7 +163,7 @@ impl<T> Sender<T> {
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.shared.not_full.wait(state).expect("spsc lock poisoned");
+            state = recover(self.shared.not_full.wait(state));
         }
     }
 }
@@ -153,7 +179,7 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, RecvError> {
         for _ in 0..SPIN_TRIES {
             {
-                let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+                let mut state = recover(self.shared.state.lock());
                 if let Some(v) = state.buf.pop_front() {
                     self.shared.not_full.notify_one();
                     return Ok(v);
@@ -165,7 +191,7 @@ impl<T> Receiver<T> {
             std::hint::spin_loop();
             std::thread::yield_now();
         }
-        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        let mut state = recover(self.shared.state.lock());
         loop {
             if let Some(v) = state.buf.pop_front() {
                 self.shared.not_full.notify_one();
@@ -174,7 +200,7 @@ impl<T> Receiver<T> {
             if !state.sender_alive {
                 return Err(RecvError);
             }
-            state = self.shared.not_empty.wait(state).expect("spsc lock poisoned");
+            state = recover(self.shared.not_empty.wait(state));
         }
     }
 
@@ -188,7 +214,7 @@ impl<T> Receiver<T> {
     /// [`TryRecvError::Disconnected`] when additionally the sender is
     /// gone.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        let mut state = recover(self.shared.state.lock());
         if let Some(v) = state.buf.pop_front() {
             self.shared.not_full.notify_one();
             return Ok(v);
@@ -198,11 +224,65 @@ impl<T> Receiver<T> {
         }
         Err(TryRecvError::Empty)
     }
+
+    /// Receives the next item, giving up after `timeout`.
+    ///
+    /// This is the watchdog flavor of [`Receiver::recv`]: the service's
+    /// control plane uses it when awaiting a reply from an engine worker
+    /// that may have stalled or died mid-protocol, so a wedged shard
+    /// yields a diagnostic instead of hanging `drain()` forever. Same
+    /// drain-first semantics as `recv` — buffered items are returned
+    /// even after the sender is gone.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if nothing arrived within the
+    /// deadline, [`RecvTimeoutError::Disconnected`] once the channel is
+    /// empty and the sender was dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        for _ in 0..SPIN_TRIES {
+            {
+                let mut state = recover(self.shared.state.lock());
+                if let Some(v) = state.buf.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if !state.sender_alive {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        let mut state = recover(self.shared.state.lock());
+        loop {
+            if let Some(v) = state.buf.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if !state.sender_alive {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = match deadline.checked_duration_since(Instant::now()) {
+                Some(d) if !d.is_zero() => d,
+                _ => return Err(RecvTimeoutError::Timeout),
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            // Loop re-checks the buffer and the deadline; a spurious or
+            // timed-out wake is handled identically.
+        }
+    }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        let mut state = recover(self.shared.state.lock());
         state.sender_alive = false;
         drop(state);
         self.shared.not_empty.notify_all();
@@ -211,7 +291,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("spsc lock poisoned");
+        let mut state = recover(self.shared.state.lock());
         state.receiver_alive = false;
         state.buf.clear(); // sender's items will never be consumed
         drop(state);
@@ -368,5 +448,39 @@ mod tests {
         // Not blocked — the queue had room — but the receiver is gone:
         // the send must fail immediately rather than buffer into a void.
         assert_eq!(tx.send("after"), Err(SendError("after")));
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_a_quiet_live_channel() {
+        let (tx, rx) = channel::<u8>(2);
+        let start = std::time::Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Err(RecvTimeoutError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(30), "deadline honored");
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_returns_items_that_arrive_before_the_deadline() {
+        let (tx, rx) = channel(2);
+        let producer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send(42u32).unwrap();
+            tx // keep the sender alive past the recv
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        drop(producer.join().unwrap());
+    }
+
+    #[test]
+    fn recv_timeout_drains_then_reports_disconnect() {
+        let (tx, rx) = channel(4);
+        tx.send("a").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok("a"));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected),
+            "disconnect reported immediately, not after the timeout"
+        );
     }
 }
