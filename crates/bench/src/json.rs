@@ -13,7 +13,9 @@ use taurus_controlplane::training::ConvergencePoint;
 use taurus_core::e2e::{Table8Row, TaurusEvalReport};
 use taurus_core::{AppCounters, AppReport, ReactionTime, SwitchReport, VerdictPolicy};
 use taurus_ml::BinaryMetrics;
-use taurus_runtime::{DeploymentReport, DeploymentRound, RuntimeReport, ShardStats};
+use taurus_runtime::{
+    DeploymentReport, DeploymentRound, OverloadReport, QuarantineCounts, RuntimeReport, ShardStats,
+};
 
 /// A JSON value tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -261,13 +263,51 @@ impl ToJson for BinaryMetrics {
     }
 }
 
-impl ToJson for RuntimeReport {
+impl ToJson for QuarantineCounts {
     fn to_json(&self) -> Json {
         Json::Object(vec![
+            ("zero_length", Json::UInt(self.zero_length)),
+            ("truncated", Json::UInt(self.truncated)),
+            ("oversized", Json::UInt(self.oversized)),
+            ("garbage_port", Json::UInt(self.garbage_port)),
+            ("unknown_protocol", Json::UInt(self.unknown_protocol)),
+            ("non_monotonic_ts", Json::UInt(self.non_monotonic_ts)),
+        ])
+    }
+}
+
+impl ToJson for OverloadReport {
+    fn to_json(&self) -> Json {
+        let buckets = self
+            .flow_buckets
+            .iter()
+            .map(|&(bucket, n)| Json::Array(vec![Json::UInt(bucket), Json::UInt(n)]))
+            .collect();
+        Json::Object(vec![
+            ("shed_packets", Json::UInt(self.shed_packets)),
+            ("degraded_verdicts", Json::UInt(self.degraded_verdicts)),
+            ("degraded_anomalous", Json::UInt(self.degraded_anomalous)),
+            ("per_shard", Json::Array(self.per_shard.iter().map(|&n| Json::UInt(n)).collect())),
+            ("flow_buckets", Json::Array(buckets)),
+            ("quarantine", self.quarantine.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RuntimeReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
             ("merged", self.merged.to_json()),
             ("shards", self.shards.to_json()),
             ("segments", self.segments.to_json()),
-        ])
+        ];
+        // Same compatibility contract as the serde derive: a run in
+        // which the admission layer did nothing serializes byte-for-byte
+        // like a report from before the section existed.
+        if !self.overload.is_empty() {
+            fields.push(("overload", self.overload.to_json()));
+        }
+        Json::Object(fields)
     }
 }
 

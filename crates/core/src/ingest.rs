@@ -17,10 +17,178 @@
 //! trace derives [`PacketObs`] the same way.
 
 use std::collections::HashSet;
+use std::fmt;
 
 use taurus_dataset::trace::{TracePacket, TCP_ACK, TCP_SYN};
 use taurus_pisa::registers::PacketObs;
 use taurus_pisa::Packet;
+
+/// Smallest wire length the frontier admits (the Ethernet minimum frame
+/// size the trace generator also clamps to). Anything shorter is a
+/// truncated capture, not a packet.
+pub const MIN_WIRE_LEN: u16 = 64;
+
+/// Largest wire length the frontier admits (standard MTU-sized frames,
+/// the trace generator's upper clamp). Anything longer overflowed a
+/// field somewhere upstream.
+pub const MAX_WIRE_LEN: u16 = 1500;
+
+/// Why the ingest frontier refused a [`TracePacket`].
+///
+/// These are *quarantine* reasons, not panics: a malformed record in a
+/// replayed capture (truncated length, a port field that was never
+/// populated, a timestamp that runs backwards) must cost exactly one
+/// counter increment and zero state mutations — the hardened analogue
+/// of a switch parser dropping a malformed frame at the MAC layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IngestError {
+    /// `len == 0`: a zero-length flow record, no payload to observe.
+    ZeroLength,
+    /// `0 < len <` [`MIN_WIRE_LEN`]: a truncated capture.
+    Truncated {
+        /// The offending wire length.
+        len: u16,
+    },
+    /// `len >` [`MAX_WIRE_LEN`]: an overflowed length field.
+    Oversized {
+        /// The offending wire length.
+        len: u16,
+    },
+    /// A TCP/UDP packet with a zero source or destination port — the
+    /// classic garbage-field signature of an uninitialized record.
+    GarbagePort,
+    /// An IP protocol number outside the trace vocabulary
+    /// (TCP 6 / UDP 17 / ICMP 1).
+    UnknownProtocol {
+        /// The offending protocol number.
+        proto: u8,
+    },
+    /// The timestamp runs backwards relative to the last *admitted*
+    /// packet of the same feed — into the middle of the range already
+    /// observed, so it is a corrupt record, not a capture replay
+    /// (regressions to at-or-before the feed's opening timestamp are
+    /// restarts; operators legitimately loop a trace, and the
+    /// validator's clock rewinds with it). Detected only by the
+    /// stateful [`IngestValidator`]; the pure [`validate_wire`] check
+    /// cannot see it.
+    NonMonotonicTimestamp,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::ZeroLength => write!(f, "zero-length flow record"),
+            IngestError::Truncated { len } => {
+                write!(f, "truncated wire length {len} (minimum {MIN_WIRE_LEN})")
+            }
+            IngestError::Oversized { len } => {
+                write!(f, "oversized wire length {len} (maximum {MAX_WIRE_LEN})")
+            }
+            IngestError::GarbagePort => write!(f, "TCP/UDP packet with a zero port"),
+            IngestError::UnknownProtocol { proto } => {
+                write!(f, "unknown IP protocol {proto} (expected 6, 17, or 1)")
+            }
+            IngestError::NonMonotonicTimestamp => {
+                write!(f, "timestamp runs backwards within a feed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// The order-free validity checks: everything [`IngestValidator`]
+/// enforces except timestamp monotonicity, derived from the packet
+/// alone. A parallel parse stage could run this on any worker — but the
+/// runtime deliberately validates in its *merge* stage (arrival order)
+/// so inline and pipelined ingest quarantine identically, error-priority
+/// included.
+pub fn validate_wire(tp: &TracePacket) -> Result<(), IngestError> {
+    if tp.len == 0 {
+        return Err(IngestError::ZeroLength);
+    }
+    if tp.len < MIN_WIRE_LEN {
+        return Err(IngestError::Truncated { len: tp.len });
+    }
+    if tp.len > MAX_WIRE_LEN {
+        return Err(IngestError::Oversized { len: tp.len });
+    }
+    match tp.tuple.proto {
+        6 | 17 => {
+            if tp.tuple.src_port == 0 || tp.tuple.dst_port == 0 {
+                return Err(IngestError::GarbagePort);
+            }
+        }
+        1 => {} // ICMP carries no ports; zeros are legitimate.
+        proto => return Err(IngestError::UnknownProtocol { proto }),
+    }
+    Ok(())
+}
+
+/// The stateful ingest frontier: wire validity plus per-feed timestamp
+/// monotonicity with capture-replay tolerance.
+///
+/// One validator guards one packet stream. Quarantined packets leave
+/// *no* trace in it — in particular, a garbage `u64::MAX` timestamp
+/// does not poison the frontier for every packet after it; only
+/// *admitted* packets advance the clock. The clock rewinds in two
+/// legitimate cases:
+///
+/// - at each feed boundary ([`IngestValidator::start_feed`]) — a feed
+///   is the replay unit;
+/// - on a **restart**: a regression to at-or-before the feed's opening
+///   timestamp. Operators loop a capture back to back *within* one
+///   feed (the runtime's own tests replay concatenated traces), and a
+///   restarted trace by construction begins where the feed began. A
+///   regression into the *middle* of the observed range matches no
+///   replay pattern and quarantines as
+///   [`IngestError::NonMonotonicTimestamp`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestValidator {
+    /// Timestamp of the first admitted packet of the current feed — the
+    /// restart watermark.
+    feed_start_ts: Option<u64>,
+    /// Timestamp of the last admitted packet of the current feed.
+    last_ts_ns: Option<u64>,
+}
+
+impl IngestValidator {
+    /// A fresh validator with no admitted packets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rewinds the monotonicity clock for a new feed (timestamps may
+    /// legitimately restart when a capture is replayed).
+    pub fn start_feed(&mut self) {
+        self.feed_start_ts = None;
+        self.last_ts_ns = None;
+    }
+
+    /// Admits or quarantines one packet: the [`validate_wire`] checks,
+    /// then monotonicity against the last admitted packet (with the
+    /// restart tolerance described on the type). On `Ok` the clock
+    /// advances; on `Err` the validator is untouched.
+    pub fn admit(&mut self, tp: &TracePacket) -> Result<(), IngestError> {
+        validate_wire(tp)?;
+        if let (Some(start), Some(last)) = (self.feed_start_ts, self.last_ts_ns) {
+            if tp.ts_ns < last && tp.ts_ns > start {
+                return Err(IngestError::NonMonotonicTimestamp);
+            }
+            // A regression to at-or-before the opening timestamp is a
+            // capture replay: rewind the watermark with the restart so
+            // later copies (or an earlier-starting capture) are judged
+            // against their own origin.
+            if tp.ts_ns < start {
+                self.feed_start_ts = Some(tp.ts_ns);
+            }
+        } else {
+            self.feed_start_ts = Some(tp.ts_ns);
+        }
+        self.last_ts_ns = Some(tp.ts_ns);
+        Ok(())
+    }
+}
 
 /// Renders a trace packet as the wire packet the parser consumes.
 pub fn to_packet(tp: &TracePacket) -> Packet {
@@ -242,6 +410,113 @@ mod tests {
             assert_eq!(PacketObs { is_flow_start: false, ..golden }, u, "wire fields agree");
         }
         untracked.reset(); // inert, but must not panic
+    }
+
+    #[test]
+    fn generated_traces_pass_the_frontier_untouched() {
+        // The validating layer must be a strict no-op on every trace the
+        // generator can produce — otherwise hardening would change the
+        // accounting of all existing experiments.
+        let records = KddGenerator::new(96).take(200);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let mut v = IngestValidator::new();
+        v.start_feed();
+        for tp in &trace.packets {
+            assert_eq!(v.admit(tp), Ok(()), "generated packet quarantined: {tp:?}");
+        }
+        // Replaying the same capture as a *new* feed is legitimate even
+        // though its timestamps restart.
+        v.start_feed();
+        assert_eq!(v.admit(&trace.packets[0]), Ok(()));
+    }
+
+    #[test]
+    fn wire_checks_catch_each_malformation_with_fixed_priority() {
+        let records = KddGenerator::new(97).take(10);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let good = trace.packets.iter().copied().find(|p| p.tuple.proto == 6).unwrap();
+        assert_eq!(validate_wire(&good), Ok(()));
+
+        let mut p = good;
+        p.len = 0;
+        assert_eq!(validate_wire(&p), Err(IngestError::ZeroLength));
+        // Zero length outranks the garbage port it may also carry.
+        p.tuple.src_port = 0;
+        assert_eq!(validate_wire(&p), Err(IngestError::ZeroLength));
+
+        let mut p = good;
+        p.len = MIN_WIRE_LEN - 1;
+        assert_eq!(validate_wire(&p), Err(IngestError::Truncated { len: 63 }));
+        p.len = MAX_WIRE_LEN + 1;
+        assert_eq!(validate_wire(&p), Err(IngestError::Oversized { len: 1501 }));
+        p.len = u16::MAX;
+        assert_eq!(validate_wire(&p), Err(IngestError::Oversized { len: u16::MAX }));
+
+        let mut p = good;
+        p.tuple.dst_port = 0;
+        assert_eq!(validate_wire(&p), Err(IngestError::GarbagePort));
+        // ICMP has no ports: the same zeros are legitimate there.
+        p.tuple.proto = 1;
+        assert_eq!(validate_wire(&p), Ok(()));
+        p.tuple.proto = 99;
+        assert_eq!(validate_wire(&p), Err(IngestError::UnknownProtocol { proto: 99 }));
+    }
+
+    #[test]
+    fn quarantined_timestamps_do_not_poison_the_clock() {
+        let records = KddGenerator::new(98).take(10);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let good = trace.packets.iter().copied().find(|p| p.tuple.proto == 6).unwrap();
+        let mut v = IngestValidator::new();
+        let at = |ts: u64| {
+            let mut p = good;
+            p.ts_ns = ts;
+            p
+        };
+
+        assert_eq!(v.admit(&at(1_000)), Ok(()));
+        assert_eq!(v.admit(&at(2_000)), Ok(()));
+
+        // A garbage far-future timestamp on a wire-invalid packet must
+        // not advance the clock...
+        let mut garbage = at(u64::MAX);
+        garbage.len = 0;
+        assert_eq!(v.admit(&garbage), Err(IngestError::ZeroLength));
+
+        // ...and neither does a quarantined mid-range regression: the
+        // next packet is judged against the last *admitted* timestamp.
+        assert_eq!(v.admit(&at(1_500)), Err(IngestError::NonMonotonicTimestamp));
+
+        assert_eq!(v.admit(&at(2_000)), Ok(()), "ties are fine; only strict regressions fail");
+    }
+
+    #[test]
+    fn replay_restarts_rewind_the_clock_but_corrupt_regressions_do_not() {
+        let records = KddGenerator::new(99).take(10);
+        let trace = PacketTrace::expand(records, &TraceConfig::default());
+        let good = trace.packets.iter().copied().find(|p| p.tuple.proto == 6).unwrap();
+        let mut v = IngestValidator::new();
+        let at = |ts: u64| {
+            let mut p = good;
+            p.ts_ns = ts;
+            p
+        };
+
+        // First copy of the capture: 1000..=3000.
+        assert_eq!(v.admit(&at(1_000)), Ok(()));
+        assert_eq!(v.admit(&at(3_000)), Ok(()));
+        // Looped back to its own start: a restart, not corruption — the
+        // clock rewinds and the second copy is judged on its own terms.
+        assert_eq!(v.admit(&at(1_000)), Ok(()));
+        assert_eq!(v.admit(&at(2_000)), Ok(()));
+        // A regression into the middle of the observed range is still a
+        // corrupt record.
+        assert_eq!(v.admit(&at(1_500)), Err(IngestError::NonMonotonicTimestamp));
+        // A restart *below* the original start lowers the watermark...
+        assert_eq!(v.admit(&at(500)), Ok(()));
+        assert_eq!(v.admit(&at(800)), Ok(()));
+        // ...so the old start is now mid-range, and corrupt there.
+        assert_eq!(v.admit(&at(700)), Err(IngestError::NonMonotonicTimestamp));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use app::{
 };
 pub use apps::{AnomalyDetector, ReactionTime, SynFloodDetector};
 pub use engine::CgraEngine;
-pub use ingest::ObsBuilder;
+pub use ingest::{IngestError, IngestValidator, ObsBuilder};
 pub use switch::{
     AppCounters, AppReport, DuplicateAppError, ReportMergeError, SwitchBuilder, SwitchReport,
     SwitchResult, SwitchVerdict, TaurusSwitch,

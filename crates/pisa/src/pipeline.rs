@@ -101,6 +101,16 @@ pub enum Verdict {
 }
 
 impl Verdict {
+    /// The safe default action a packet receives when the ML path
+    /// cannot serve it (Taurus §4: the per-packet ML pipeline is an
+    /// *augmentation* of a line-rate switch, never a gate in front of
+    /// it). Overloaded or degraded configurations hand packets this
+    /// verdict at line rate instead of stalling them behind a saturated
+    /// inference engine.
+    pub const fn line_rate_default() -> Verdict {
+        Verdict::Forward
+    }
+
     /// Decodes the PHV decision field (0 = forward, 1 = drop, 2 = flag).
     pub fn from_code(code: i64) -> Verdict {
         match code {

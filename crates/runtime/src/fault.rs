@@ -302,6 +302,24 @@ struct PacketFault {
     action: FaultAction,
 }
 
+/// A window of injected saturation: every packet whose home shard is
+/// `shard` and whose global stream index lies in `[from, from + len)`
+/// is treated as over budget by a non-blocking
+/// [`crate::OverloadPolicy`].
+///
+/// Unlike the worker-side packet faults, saturation is consulted on the
+/// *ingest* side, before steering — a pure predicate of
+/// (home shard, global index), so an overload episode replays exactly:
+/// the same plan against the same stream sheds the same packets under
+/// any shard geometry, feed slicing, or parse-worker count, and a
+/// single-threaded oracle can enumerate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SaturationWindow {
+    shard: usize,
+    from: u64,
+    len: u64,
+}
+
 /// A deterministic fault-injection plan, set on
 /// [`crate::runtime::RuntimeBuilder::fault_plan`]. Faults key on
 /// (shard, global stream index): the same plan against the same stream
@@ -312,6 +330,8 @@ pub struct FaultPlan {
     packet: Vec<(usize, PacketFault)>,
     /// (shard, nth-install-on-that-shard) pairs whose reply is dropped.
     drop_install_replies: Vec<(usize, u64)>,
+    /// Injected ingest-side saturation windows.
+    saturate: Vec<SaturationWindow>,
 }
 
 impl FaultPlan {
@@ -342,9 +362,21 @@ impl FaultPlan {
         self
     }
 
+    /// Marks `shard` saturated for the `len` packets with global stream
+    /// index in `[from, from + len)` that are home-routed to it. Under
+    /// a non-blocking [`crate::OverloadPolicy`] those packets are shed
+    /// (or degraded to the line-rate default verdict) deterministically
+    /// — the replayable stand-in for a lane that filled past its
+    /// patience. A `Block` fleet ignores saturation entirely (there is
+    /// no admission decision to force).
+    pub fn saturate_shard(mut self, shard: usize, from: u64, len: u64) -> Self {
+        self.saturate.push(SaturationWindow { shard, from, len });
+        self
+    }
+
     /// `true` when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.packet.is_empty() && self.drop_install_replies.is_empty()
+        self.packet.is_empty() && self.drop_install_replies.is_empty() && self.saturate.is_empty()
     }
 
     /// Splits out the faults armed for one shard (the worker carries
@@ -360,6 +392,12 @@ impl FaultPlan {
                 .collect(),
             installs_seen: 0,
         }
+    }
+
+    /// Splits out the ingest-side faults (the saturation windows the
+    /// steer stage consults before routing).
+    pub(crate) fn for_ingest(&self) -> IngestFaults {
+        IngestFaults { windows: self.saturate.clone() }
     }
 }
 
@@ -401,6 +439,28 @@ impl WorkerFaults {
     /// Cheap emptiness check so the hot batch loop can skip the scan.
     pub(crate) fn is_armed(&self) -> bool {
         !self.packet.is_empty()
+    }
+}
+
+/// The ingest side's armed faults: saturation windows, consulted per
+/// packet (home shard, global index) before steering.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IngestFaults {
+    windows: Vec<SaturationWindow>,
+}
+
+impl IngestFaults {
+    /// Cheap emptiness check so the hot ingest loop can skip the scan.
+    pub(crate) fn is_armed(&self) -> bool {
+        !self.windows.is_empty()
+    }
+
+    /// Whether a packet home-routed to `shard` at global stream index
+    /// `index` falls in an injected saturation window. Pure: no state
+    /// consumed, so every geometry and feed slicing sees the same
+    /// answer.
+    pub(crate) fn saturated(&self, shard: usize, index: u64) -> bool {
+        self.windows.iter().any(|w| w.shard == shard && index >= w.from && index - w.from < w.len)
     }
 }
 
@@ -514,6 +574,26 @@ mod tests {
         let mut other = plan.for_shard(0);
         assert!(!other.drop_this_install());
         assert!(!other.drop_this_install());
+    }
+
+    #[test]
+    fn saturation_windows_are_pure_half_open_ranges() {
+        let plan = FaultPlan::new().saturate_shard(1, 10, 5).saturate_shard(0, 100, 1);
+        assert!(!plan.is_empty());
+        let faults = plan.for_ingest();
+        assert!(faults.is_armed());
+        // Half-open [10, 15) on shard 1 only.
+        assert!(!faults.saturated(1, 9));
+        assert!(faults.saturated(1, 10));
+        assert!(faults.saturated(1, 14));
+        assert!(!faults.saturated(1, 15));
+        assert!(!faults.saturated(0, 12), "other shards unaffected");
+        assert!(faults.saturated(0, 100));
+        // Pure: asking twice gives the same answer (nothing disarms).
+        assert!(faults.saturated(1, 10));
+        // Worker-side faults are untouched by saturation windows.
+        assert!(!plan.for_shard(1).is_armed());
+        assert!(!FaultPlan::new().for_ingest().is_armed());
     }
 
     #[test]

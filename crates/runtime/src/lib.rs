@@ -68,6 +68,7 @@
 
 pub mod deploy;
 pub mod fault;
+pub mod overload;
 pub mod pipeline;
 pub mod runtime;
 pub mod service;
@@ -78,6 +79,7 @@ pub use fault::{
     canary_decision, CanaryDecision, CanaryGuardrails, CanaryVerdictRecord, FaultPlan, FaultRecord,
     FaultRecordKind, FaultReport, InstallError, ShardError,
 };
+pub use overload::{OverloadPolicy, OverloadReport, QuarantineCounts};
 pub use pipeline::{epoch_count, parse_packet, resolve_and_count, EpochBatch, ParsedSlot};
 pub use runtime::{
     shard_of, BuildError, PreparedPacket, RuntimeBuilder, RuntimeReport, ShardStats, ShardedRuntime,

@@ -53,13 +53,15 @@ pub use epoch::{epoch_count, EpochBatch, ParsedSlot, ARENAS_PER_WORKER};
 pub use stage::parse_packet;
 pub use steer::resolve_and_count;
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
-use taurus_core::ingest::ObsBuilder;
+use taurus_core::ingest::{IngestValidator, ObsBuilder};
 use taurus_core::ModelUpdate;
 use taurus_dataset::trace::TracePacket;
 use taurus_pisa::{CrossFlowWindows, FlowTable};
 
+use crate::overload::OverloadState;
 use crate::pipeline::stage::{parse_worker, ParsePlan};
 use crate::pipeline::steer::{Batch, ShardMsg, SteerState, Steering};
 use crate::spsc;
@@ -97,6 +99,13 @@ pub(crate) struct PipelineRun<'run, 'env> {
     /// owned): `Some` routes flow-start resolution through table-miss
     /// semantics instead of the seen-set.
     pub directory: &'run mut Option<FlowTable>,
+    /// The feed-scoped ingest frontier. Validation runs in the *merge*
+    /// stage (global arrival order), so inline and pipelined ingest
+    /// quarantine identically — monotonicity included.
+    pub validator: &'run mut IngestValidator,
+    /// The admission layer: overload policy, injected saturation
+    /// windows, and the shed/degrade/quarantine accounting.
+    pub overload: &'run mut OverloadState,
     /// The resident steer staging state.
     pub steer: &'run mut SteerState,
     /// Cross-run pool of steer→engine batch arenas.
@@ -133,6 +142,8 @@ pub(crate) fn run<'scope, 'env>(
         seen,
         windows,
         directory,
+        validator,
+        overload,
         steer: steer_state,
         batch_pool,
         epoch_pool,
@@ -170,14 +181,24 @@ pub(crate) fn run<'scope, 'env>(
         handles.push(scope.spawn(move || parse_worker(worker, plan, packets, &out_tx, &ret_rx)));
     }
 
-    let mut steer = Steering::new(steer_state, batch_size, batch_pool, recycle, senders);
+    let mut steer = Steering::new(steer_state, batch_size, batch_pool, recycle, senders, overload);
     let mut next_update = 0usize;
+    // Per-epoch candidate requeue: when an epoch's first-seen candidate
+    // for a connection is quarantined or bypassed, the next surviving
+    // packet of that connection *in the same epoch* inherits the
+    // candidate bit — so the first admitted packet of every connection
+    // still probes the global seen-set, exactly as the inline path's
+    // per-packet `mark_seen` would on the filtered stream. Cleared at
+    // each epoch boundary (candidates are epoch-local); empty on every
+    // clean run, so the steady state allocates nothing.
+    let mut requeue: HashSet<u32> = HashSet::new();
     'merge: for epoch in 0..epochs {
         let worker = epoch % workers;
         let Ok(mut arena) = out_lanes[worker].recv() else {
             break 'merge; // a parse worker died; its panic surfaces at join
         };
         debug_assert_eq!(arena.epoch, epoch as u64, "lanes deliver epochs in index order");
+        requeue.clear();
         for i in 0..arena.len {
             // Arena bases are feed-relative; updates key on the global
             // stream index. `<=` (not `==`) so an update scheduled at
@@ -192,9 +213,27 @@ pub(crate) fn run<'scope, 'env>(
                 next_update += 1;
             }
             let slot = &mut arena.slots[i];
+            let tp = &packets[arena.base as usize + i];
+            if let Err(err) = validator.admit(tp) {
+                steer.overload().record_quarantine(err);
+                if slot.candidate {
+                    requeue.insert(slot.conn_id);
+                }
+                continue;
+            }
+            let shard = slot.shard as usize;
+            if steer.overload().saturated(shard, index) {
+                steer.overload().record_bypass(shard, slot.prepared.obs.flow_key, tp.anomalous);
+                if slot.candidate {
+                    requeue.insert(slot.conn_id);
+                }
+                continue;
+            }
+            if !requeue.is_empty() && !slot.candidate && requeue.remove(&slot.conn_id) {
+                slot.candidate = true;
+            }
             slot.prepared.index = index;
             resolve_and_count(slot, seen, windows, directory.as_mut());
-            let shard = slot.shard as usize;
             steer.slot(shard).clone_from(&slot.prepared);
             if !steer.commit(shard) {
                 // An engine worker died; stop feeding, recover the

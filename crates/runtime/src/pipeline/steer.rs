@@ -27,9 +27,10 @@ use taurus_core::{ModelUpdate, RollbackPoint};
 use taurus_pisa::{CrossFlowWindows, FlowTable};
 
 use crate::fault::ShardError;
+use crate::overload::OverloadState;
 use crate::pipeline::epoch::ParsedSlot;
 use crate::runtime::PreparedPacket;
-use crate::spsc;
+use crate::spsc::{self, SendTimeoutError};
 
 /// One ingest→engine batch: a recycled arena of [`PreparedPacket`]
 /// slots. The steer stage rewrites the slots of a drained buffer in
@@ -163,6 +164,11 @@ pub(crate) struct Steering<'a> {
     pool: &'a mut Vec<Batch>,
     recycle: &'a [spsc::Receiver<Batch>],
     senders: &'a [spsc::Sender<ShardMsg>],
+    /// The admission layer: policy, injected saturation windows, and
+    /// the shed/degrade/quarantine accounting. Lives on the runtime
+    /// (ingest-side) so counters survive worker faults; both ingest
+    /// modes reach it through [`Steering::overload`].
+    overload: &'a mut OverloadState,
 }
 
 impl<'a> Steering<'a> {
@@ -172,9 +178,17 @@ impl<'a> Steering<'a> {
         pool: &'a mut Vec<Batch>,
         recycle: &'a [spsc::Receiver<Batch>],
         senders: &'a [spsc::Sender<ShardMsg>],
+        overload: &'a mut OverloadState,
     ) -> Self {
         debug_assert_eq!(state.staging.len(), senders.len());
-        Self { state, batch_size, pool, recycle, senders }
+        Self { state, batch_size, pool, recycle, senders, overload }
+    }
+
+    /// The shared overload/admission state: per-packet saturation
+    /// checks and quarantine/bypass accounting, behind the same borrow
+    /// as the staging arenas.
+    pub fn overload(&mut self) -> &mut OverloadState {
+        self.overload
     }
 
     /// The next writable slot on `shard`'s staging arena, growing the
@@ -215,6 +229,15 @@ impl<'a> Steering<'a> {
     /// Swaps `shard`'s staging arena out (truncating to its live slots)
     /// and sends it; the replacement comes from the recycle cycle.
     ///
+    /// Under [`crate::OverloadPolicy::Block`] (the default) the send
+    /// blocks until the lane has room — the historical backpressure.
+    /// Under `Shed`/`Degrade` it waits at most the configured patience:
+    /// a lane still full past the deadline means *organic* saturation,
+    /// and the whole staged batch is refused at once — every packet
+    /// accounted through [`OverloadState::record_bypass`], the arena
+    /// recycled, and the flush reported as success (the fleet rode the
+    /// overload out instead of stalling on it).
+    ///
     /// # Errors
     ///
     /// [`ShardError::Dead`] when the shard's worker is gone (its lane
@@ -224,7 +247,25 @@ impl<'a> Steering<'a> {
         let mut batch = std::mem::replace(&mut self.state.staging[shard], replacement);
         batch.truncate(self.state.fills[shard]);
         self.state.fills[shard] = 0;
-        if self.senders[shard].send(ShardMsg::Batch(batch)).is_err() {
+        let dead = match self.overload.policy().patience() {
+            None => self.senders[shard].send(ShardMsg::Batch(batch)).is_err(),
+            Some(patience) => {
+                match self.senders[shard].send_timeout(ShardMsg::Batch(batch), patience) {
+                    Ok(()) => false,
+                    Err(SendTimeoutError::Timeout(msg)) => {
+                        if let ShardMsg::Batch(refused) = msg {
+                            for p in &refused {
+                                self.overload.record_bypass(shard, p.obs.flow_key, p.anomalous);
+                            }
+                            self.pool.push(refused);
+                        }
+                        false
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => true,
+                }
+            }
+        };
+        if dead {
             self.state.dead = Some(shard);
             return Err(ShardError::Dead { shard });
         }

@@ -61,6 +61,7 @@ use taurus_pisa::registers::PacketObs;
 use taurus_pisa::{CrossFlowWindows, FlowTable, FlowTableKind, Packet, PipelineConfig};
 
 use crate::fault::{FaultPlan, FaultReport, InstallError};
+use crate::overload::{OverloadPolicy, OverloadReport};
 use crate::service::{IngestPlan, StreamingRuntime, SupervisePlan};
 
 /// One packet as it crosses an ingest→worker channel: the wire packet,
@@ -134,6 +135,9 @@ pub enum BuildError {
         /// Per-shard register capacity routing folds through.
         flow_slots: usize,
     },
+    /// A zero queue depth: the bounded SPSC lanes are non-rendezvous,
+    /// so a depth-0 channel could never carry a batch.
+    ZeroQueueDepth,
 }
 
 impl core::fmt::Display for BuildError {
@@ -148,6 +152,9 @@ impl core::fmt::Display for BuildError {
                  shards beyond the slot range would never receive a packet — lower the shard \
                  count or raise PipelineConfig.flow_slots / shard_flow_slots()"
             ),
+            Self::ZeroQueueDepth => {
+                write!(f, "queue_depth must be positive (lanes are non-rendezvous)")
+            }
         }
     }
 }
@@ -196,6 +203,7 @@ pub struct RuntimeBuilder<'a> {
     fault_plan: FaultPlan,
     spare_replicas: usize,
     control_timeout: Duration,
+    overload: OverloadPolicy,
 }
 
 impl Default for RuntimeBuilder<'_> {
@@ -213,6 +221,7 @@ impl Default for RuntimeBuilder<'_> {
             fault_plan: FaultPlan::default(),
             spare_replicas: 0,
             control_timeout: Duration::from_secs(30),
+            overload: OverloadPolicy::Block,
         }
     }
 }
@@ -284,12 +293,25 @@ impl<'a> RuntimeBuilder<'a> {
 
     /// Bounded channel depth, in batches, per worker.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Zero is rejected at build time with
+    /// [`BuildError::ZeroQueueDepth`] (via the typed
+    /// [`RuntimeBuilder::try_build`] path, or as a panic carrying the
+    /// same message from [`RuntimeBuilder::build`]) — the lanes are
+    /// non-rendezvous, so a depth-0 channel could never carry a batch.
     pub fn queue_depth(mut self, n: usize) -> Self {
-        assert!(n > 0, "queue_depth must be positive");
         self.queue_depth = n;
+        self
+    }
+
+    /// What the steer stage does when a shard's lane saturates — see
+    /// [`OverloadPolicy`]. The default, [`OverloadPolicy::Block`], is
+    /// the historical behavior: ingest waits for the slow shard and
+    /// reports stay byte-identical to pre-overload runs. The
+    /// non-blocking policies shed ([`OverloadPolicy::Shed`]) or
+    /// line-rate-bypass ([`OverloadPolicy::Degrade`]) over-budget
+    /// packets and account them in [`RuntimeReport::overload`].
+    pub fn overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
         self
     }
 
@@ -430,6 +452,9 @@ impl<'a> RuntimeBuilder<'a> {
         if self.apps.is_empty() {
             return Err(BuildError::EmptyRoster);
         }
+        if self.queue_depth == 0 {
+            return Err(BuildError::ZeroQueueDepth);
+        }
         for (i, (app, _)) in self.apps.iter().enumerate() {
             if self.apps[..i].iter().any(|(prev, _)| prev.name() == app.name()) {
                 return Err(DuplicateAppError { name: app.name().to_string() }.into());
@@ -503,6 +528,7 @@ impl<'a> RuntimeBuilder<'a> {
                 route_slots,
                 windows: CrossFlowWindows::new(self.config.flow_slots, self.config.window_ns),
                 directory,
+                overload: self.overload,
             },
             SupervisePlan {
                 spares,
@@ -551,6 +577,16 @@ pub struct RuntimeReport {
     /// (`#[serde(default)]`: older serialized reports still load).
     #[serde(default, skip_serializing_if = "FaultReport::is_empty")]
     pub faults: FaultReport,
+    /// Overload accounting since the last drain: packets shed by
+    /// admission control, degraded to the line-rate default verdict, or
+    /// quarantined at the hardened ingest frontier — see
+    /// [`OverloadReport`]. A run in which the admission layer did
+    /// nothing (every [`crate::OverloadPolicy::Block`] run on a clean
+    /// trace) reports exactly [`OverloadReport::default`], so such
+    /// reports compare — and serialize — bit-identical to pre-overload
+    /// ones (`#[serde(default)]`: older serialized reports still load).
+    #[serde(default, skip_serializing_if = "OverloadReport::is_empty")]
+    pub overload: OverloadReport,
 }
 
 impl RuntimeReport {
@@ -885,6 +921,7 @@ mod tests {
                 .collect(),
             segments: vec![taurus_ml::BinaryMetrics::default()],
             faults: FaultReport::default(),
+            overload: OverloadReport::default(),
         };
         assert_eq!(report.balance(), 1.0);
         assert_eq!(report.modeled_pps(1e9), 4e9, "4 balanced shards = 4x line rate");
@@ -1062,6 +1099,50 @@ mod tests {
             // A second run on the warm runtime (recycled arenas) too.
             assert_eq!(rt.run_trace(&t).merged.packets, 2 * golden.merged.packets);
         }
+    }
+
+    #[test]
+    fn zero_queue_depth_is_a_typed_build_error() {
+        // Regression: queue_depth(0) used to panic inside the setter;
+        // it is now validated at build like the geometry errors.
+        let syn = SynFloodDetector::default_deployment();
+        let err = RuntimeBuilder::new()
+            .shards(2)
+            .queue_depth(0)
+            .register_on(&syn, EngineBackend::Threshold)
+            .try_build()
+            .expect_err("zero-depth lanes must be rejected");
+        assert_eq!(err, BuildError::ZeroQueueDepth);
+        assert!(err.to_string().contains("queue_depth must be positive"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_depth must be positive")]
+    fn zero_queue_depth_still_panics_through_build() {
+        let syn = SynFloodDetector::default_deployment();
+        let _ = RuntimeBuilder::new()
+            .queue_depth(0)
+            .register_on(&syn, EngineBackend::Threshold)
+            .build();
+    }
+
+    #[test]
+    fn overload_policy_defaults_to_block_and_is_plumbed_through() {
+        let syn = SynFloodDetector::default_deployment();
+        let rt = RuntimeBuilder::new()
+            .shards(2)
+            .register_on(&syn, EngineBackend::Threshold)
+            .build_streaming();
+        assert_eq!(rt.overload_policy(), crate::OverloadPolicy::Block);
+        let rt = RuntimeBuilder::new()
+            .shards(2)
+            .overload_policy(crate::OverloadPolicy::Degrade { patience: Duration::ZERO })
+            .register_on(&syn, EngineBackend::Threshold)
+            .build_streaming();
+        assert_eq!(
+            rt.overload_policy(),
+            crate::OverloadPolicy::Degrade { patience: Duration::ZERO }
+        );
     }
 
     #[test]

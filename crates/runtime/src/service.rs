@@ -47,16 +47,20 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use taurus_core::ingest::{to_packet_into, ObsBuilder};
+use taurus_core::ingest::{
+    flow_start_flags_ok, to_packet_into, wire_obs, IngestValidator, ObsBuilder,
+};
 use taurus_core::{ModelUpdate, RollbackPoint, SwitchReport, TaurusSwitch, UpdateError};
 use taurus_dataset::trace::{PacketTrace, TracePacket};
 use taurus_ml::BinaryMetrics;
+use taurus_pisa::registers::PacketObs;
 use taurus_pisa::{CrossFlowWindows, FlowTable, Verdict};
 
 use crate::fault::{
     canary_decision, CanaryDecision, CanaryGuardrails, CanaryVerdictRecord, FaultPlan, FaultRecord,
     FaultRecordKind, FaultReport, InstallError, ShardError, WorkerFaults,
 };
+use crate::overload::{OverloadPolicy, OverloadState};
 use crate::pipeline::epoch::EpochBatch;
 use crate::pipeline::steer::{Batch, ShardMsg, SteerState, Steering};
 use crate::pipeline::{self, PipelineRun};
@@ -334,6 +338,11 @@ pub struct StreamingRuntime {
     /// global arrival order so flow starts resolve by table-miss
     /// semantics with bounded state (`None` direct-mapped).
     directory: Option<FlowTable>,
+    /// The admission layer: overload policy, injected saturation
+    /// windows, and the shed/degrade/quarantine accounting. Ingest-side
+    /// by design — a shard that sheds and then panics recovers with its
+    /// counters intact, because they were never inside the worker.
+    overload: OverloadState,
     /// Resident per-shard staging arenas (see `pipeline::steer`).
     steer: SteerState,
     /// Cross-feed pool of steer→engine batch arenas, provisioned once
@@ -397,6 +406,7 @@ pub(crate) struct IngestPlan {
     pub(crate) route_slots: usize,
     pub(crate) windows: CrossFlowWindows,
     pub(crate) directory: Option<FlowTable>,
+    pub(crate) overload: OverloadPolicy,
 }
 
 impl StreamingRuntime {
@@ -409,8 +419,12 @@ impl StreamingRuntime {
         ingest: IngestPlan,
         supervise: SupervisePlan,
     ) -> Self {
-        let IngestPlan { parse_workers, epoch_len, route_slots, windows, directory } = ingest;
+        let IngestPlan { parse_workers, epoch_len, route_slots, windows, directory, overload } =
+            ingest;
         let SupervisePlan { spares, control_timeout, faults } = supervise;
+        // Ingest-side overload state: the saturation windows are carved
+        // off the fault plan before the per-shard worker slices are.
+        let overload = OverloadState::new(overload, faults.for_ingest(), route_slots);
         let shards = switches.len();
         // Provision the recycle pool up front: a shard's buffer cycle
         // peaks at `queue_depth + 3` buffers (staging + in-flight +
@@ -459,6 +473,7 @@ impl StreamingRuntime {
             },
             windows,
             directory,
+            overload,
             steer,
             batch_pool,
             epoch_pool: Vec::new(),
@@ -502,6 +517,12 @@ impl StreamingRuntime {
         self.position
     }
 
+    /// The configured [`OverloadPolicy`]: what the steer stage does
+    /// when a shard's lane is saturated.
+    pub fn overload_policy(&self) -> OverloadPolicy {
+        self.overload.policy()
+    }
+
     /// Pushes a slice of the stream through the resident service:
     /// observations, the shared cross-flow windows, flow-consistent
     /// routing, and batching run on the calling thread (or, with
@@ -537,14 +558,20 @@ impl StreamingRuntime {
                 obs_builder,
                 windows,
                 directory,
+                overload,
                 position,
                 ..
             } = self;
+            // The ingest frontier is scoped to the feed: a feed is the
+            // replay unit, and operators legitimately re-feed a capture
+            // whose timestamps restart.
+            let mut validator = IngestValidator::new();
             if parse_workers == 0 {
                 // Inline ingest: everything order-sensitive on the
                 // calling thread, steered through the shared staging
                 // machinery (`pipeline::steer::Steering`).
-                let mut steer = Steering::new(steer, batch_size, batch_pool, recycle, senders);
+                let mut steer =
+                    Steering::new(steer, batch_size, batch_pool, recycle, senders, overload);
                 let mut next_update = 0usize;
                 'ingest: for tp in packets.iter() {
                     let index = *position;
@@ -557,7 +584,28 @@ impl StreamingRuntime {
                         }
                         next_update += 1;
                     }
-                    let mut obs = obs_builder.observe(tp);
+                    // Quarantine before any stateful ingest: a refused
+                    // packet costs one counter and still occupies its
+                    // global stream index.
+                    if let Err(err) = validator.admit(tp) {
+                        steer.overload().record_quarantine(err);
+                        *position += 1;
+                        continue 'ingest;
+                    }
+                    // Order-free half first: the admission decision
+                    // needs the home shard, but must not touch the
+                    // seen-set, directory, or windows for a packet the
+                    // policy then bypasses.
+                    let mut obs = PacketObs::default();
+                    wire_obs(tp, &mut obs);
+                    let shard = shard_of(obs.flow_key, route_slots, shards);
+                    if steer.overload().saturated(shard, index) {
+                        steer.overload().record_bypass(shard, obs.flow_key, tp.anomalous);
+                        *position += 1;
+                        continue 'ingest;
+                    }
+                    obs.is_flow_start =
+                        obs_builder.mark_seen(tp.conn_id) && flow_start_flags_ok(tp);
                     if let Some(dir) = directory.as_mut() {
                         // Keyed mode: the directory access *is* the
                         // flow-start decision — a miss (or an eviction
@@ -566,7 +614,6 @@ impl StreamingRuntime {
                         obs.is_flow_start = access.is_start();
                     }
                     let (dst_count, srv_count) = windows.observe(&obs);
-                    let shard = shard_of(obs.flow_key, route_slots, shards);
                     // Rewrite a recycled slot in place.
                     let slot = steer.slot(shard);
                     to_packet_into(tp, &mut slot.pkt);
@@ -605,6 +652,8 @@ impl StreamingRuntime {
                             seen: obs_builder,
                             windows,
                             directory,
+                            validator: &mut validator,
+                            overload,
                             steer,
                             batch_pool,
                             epoch_pool,
@@ -649,8 +698,9 @@ impl StreamingRuntime {
         let batch_size = self.batch_size;
         let mut installed = 0usize;
         {
-            let Self { senders, recycle, steer, batch_pool, fault_acc, .. } = self;
-            let mut steer = Steering::new(steer, batch_size, batch_pool, recycle, senders);
+            let Self { senders, recycle, steer, batch_pool, fault_acc, overload, .. } = self;
+            let mut steer =
+                Steering::new(steer, batch_size, batch_pool, recycle, senders, overload);
             for (_, update) in &updates {
                 match steer.flush_and_update(update) {
                     Ok(()) => installed += 1,
@@ -801,7 +851,8 @@ impl StreamingRuntime {
             .collect();
         let merged = SwitchReport::merged(shards.iter().map(|s| &s.report)).unwrap_or_default();
         let faults = std::mem::take(&mut self.fault_acc);
-        RuntimeReport { merged, shards, segments, faults }
+        let overload = self.overload.take_report(self.shards);
+        RuntimeReport { merged, shards, segments, faults, overload }
     }
 
     /// Replaces a faulted worker with a spare replica rehydrated to the
@@ -983,8 +1034,8 @@ impl StreamingRuntime {
     /// Flushes every staged partial batch — a stream barrier: all
     /// packets fed so far are delivered before whatever comes next.
     fn flush_partials_now(&mut self) -> Result<(), ShardError> {
-        let Self { senders, recycle, steer, batch_pool, batch_size, .. } = self;
-        let mut steer = Steering::new(steer, *batch_size, batch_pool, recycle, senders);
+        let Self { senders, recycle, steer, batch_pool, batch_size, overload, .. } = self;
+        let mut steer = Steering::new(steer, *batch_size, batch_pool, recycle, senders, overload);
         steer.flush_partials()
     }
 

@@ -69,6 +69,29 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Why [`Sender::try_send`] could not place the item; carries the
+/// unsent value back either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity right now; the receiver is still
+    /// alive. The caller decides whether to retry, park, or shed.
+    Full(T),
+    /// The receiver is gone — nothing will ever drain.
+    Disconnected(T),
+}
+
+/// Why [`Sender::send_timeout`] gave up; carries the unsent value back
+/// either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full past the deadline; the receiver is still
+    /// alive. This is the overload-control signal: a lane that would
+    /// not accept a batch within the configured patience.
+    Timeout(T),
+    /// The receiver is gone.
+    Disconnected(T),
+}
+
 /// Why [`Receiver::recv_timeout`] returned nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvTimeoutError {
@@ -164,6 +187,89 @@ impl<T> Sender<T> {
                 return Ok(());
             }
             state = recover(self.shared.not_full.wait(state));
+        }
+    }
+
+    /// Sends one item if the channel has room right now, never blocking
+    /// (and never spinning) — the shed path's primitive: a full lane is
+    /// an overload signal, not a reason to stall ingest.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when the channel is at capacity,
+    /// [`TrySendError::Disconnected`] when the receiver is gone; both
+    /// carry the item back so the caller can account for it.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = recover(self.shared.state.lock());
+        if !state.receiver_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if state.buf.len() < self.shared.capacity {
+            state.buf.push_back(value);
+            self.shared.not_empty.notify_one();
+            return Ok(());
+        }
+        Err(TrySendError::Full(value))
+    }
+
+    /// Sends one item, giving up after `timeout`.
+    ///
+    /// This is the patience flavor of [`Sender::send`]: the steer stage
+    /// uses it under a non-blocking [`crate::OverloadPolicy`], so a
+    /// saturated shard costs ingest at most the configured patience per
+    /// batch instead of backpressuring the whole fleet into a stall. A
+    /// zero timeout degrades to a single immediate attempt (the
+    /// [`Sender::try_send`] behavior, minus the spin phase's yields).
+    ///
+    /// # Errors
+    ///
+    /// [`SendTimeoutError::Timeout`] if the channel stayed full past the
+    /// deadline, [`SendTimeoutError::Disconnected`] if the receiver was
+    /// dropped; both carry the item back.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        // Spin phase, bounded by both the retry budget and the deadline.
+        for _ in 0..SPIN_TRIES {
+            {
+                let mut state = recover(self.shared.state.lock());
+                if !state.receiver_alive {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if state.buf.len() < self.shared.capacity {
+                    state.buf.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        // Park phase: the recv_timeout predicate loop, mirrored.
+        let mut state = recover(self.shared.state.lock());
+        loop {
+            if !state.receiver_alive {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if state.buf.len() < self.shared.capacity {
+                state.buf.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let remaining = match deadline.checked_duration_since(Instant::now()) {
+                Some(d) if !d.is_zero() => d,
+                _ => return Err(SendTimeoutError::Timeout(value)),
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .not_full
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            // Loop re-checks capacity and the deadline; a spurious or
+            // timed-out wake is handled identically.
         }
     }
 }
@@ -448,6 +554,82 @@ mod tests {
         // Not blocked — the queue had room — but the receiver is gone:
         // the send must fail immediately rather than buffer into a void.
         assert_eq!(tx.send("after"), Err(SendError("after")));
+    }
+
+    #[test]
+    fn try_send_never_blocks_and_reports_both_refusal_states() {
+        let (tx, rx) = channel(2);
+        assert_eq!(tx.try_send(1u32), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)), "at capacity, receiver alive");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()), "room again after a drain");
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)), "receiver gone");
+    }
+
+    #[test]
+    fn try_send_reports_disconnect_even_with_room() {
+        let (tx, rx) = channel::<&str>(4);
+        drop(rx);
+        // The queue has room, but nothing will ever drain it.
+        assert_eq!(tx.try_send("x"), Err(TrySendError::Disconnected("x")));
+    }
+
+    #[test]
+    fn send_timeout_expires_on_a_full_live_channel() {
+        let (tx, rx) = channel(1);
+        tx.send(0u8).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            tx.send_timeout(1, Duration::from_millis(30)),
+            Err(SendTimeoutError::Timeout(1)),
+            "value comes back after the patience runs out"
+        );
+        assert!(start.elapsed() >= Duration::from_millis(30), "deadline honored");
+        drop(rx);
+    }
+
+    #[test]
+    fn send_timeout_with_zero_patience_is_a_single_attempt() {
+        let (tx, rx) = channel(1);
+        assert_eq!(tx.send_timeout(7u64, Duration::ZERO), Ok(()), "room: immediate success");
+        assert_eq!(
+            tx.send_timeout(8, Duration::ZERO),
+            Err(SendTimeoutError::Timeout(8)),
+            "full: immediate refusal, no 32-yield spin"
+        );
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn send_timeout_succeeds_when_the_receiver_drains_within_the_deadline() {
+        let (tx, rx) = channel(1);
+        tx.send(0u32).unwrap();
+        let consumer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(0));
+            rx // keep the receiver alive past the send
+        });
+        assert_eq!(tx.send_timeout(1, Duration::from_secs(5)), Ok(()));
+        let rx = consumer.join().unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn send_timeout_wakes_with_disconnect_when_the_receiver_drops() {
+        // The sender is parked inside send_timeout on a full channel
+        // when the receiver disappears: it must wake with Disconnected
+        // (not run out the clock, not deadlock).
+        let (tx, rx) = channel(1);
+        tx.send(0u64).unwrap();
+        let producer = thread::spawn(move || tx.send_timeout(1, Duration::from_secs(30)));
+        thread::sleep(Duration::from_millis(20)); // let the sender park
+        let start = std::time::Instant::now();
+        drop(rx);
+        let result = producer.join().unwrap();
+        assert_eq!(result, Err(SendTimeoutError::Disconnected(1)));
+        assert!(start.elapsed() < Duration::from_secs(5), "woken, not timed out");
     }
 
     #[test]
